@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+The figure/table benchmarks regenerate the paper's artefacts, so each
+is executed exactly once (``pedantic(rounds=1)``): their interesting
+output is the *simulated* measurement stored in ``extra_info``, not the
+wall-clock time.  The micro-benchmarks (TLB/cache/fault/fork primitives)
+use normal pytest-benchmark timing.
+"""
+
+import pytest
+
+from repro.experiments.common import Scale
+
+#: Sizing used by the figure benchmarks: small enough for a complete
+#: ``pytest benchmarks/`` run in a few minutes.
+BENCH_SCALE = Scale(
+    name="bench",
+    launch_rounds=6,
+    fork_rounds=5,
+    steady_rounds=1,
+    ipc_invocations=120,
+    apps=("Angrybirds", "Google Calendar", "WPS"),
+    revisit_passes=1,
+    base_burst=2000,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    return BENCH_SCALE

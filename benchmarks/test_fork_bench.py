@@ -1,0 +1,58 @@
+"""Table 4 benchmark: zygote fork under the three kernels.
+
+The zygote fork itself is the benchmarked operation: wall-clock time
+tracks the simulated work (PTE copies vs. PTP references), and the
+simulated cycle counts — the paper's actual metric — are attached as
+``extra_info``.
+"""
+
+import pytest
+
+from repro.experiments.common import build_runtime
+
+
+def _fork_exit(runtime, counter=[0]):
+    counter[0] += 1
+    child, report = runtime.fork_app(f"bench-{counter[0]}")
+    runtime.kernel.exit_task(child)
+    return report
+
+
+@pytest.mark.parametrize("config", ["stock", "copy-pte", "shared-ptp"])
+def test_table4_fork(benchmark, config):
+    runtime = build_runtime(config)
+    _fork_exit(runtime)  # First fork pays the one-time share pass.
+    report = benchmark(_fork_exit, runtime)
+    benchmark.extra_info["simulated_cycles"] = report.cycles
+    benchmark.extra_info["ptes_copied"] = report.ptes_copied
+    benchmark.extra_info["slots_shared"] = report.slots_shared
+    if config == "stock":
+        assert report.ptes_copied == 3900
+    elif config == "copy-pte":
+        assert report.ptes_copied == 9800
+    else:
+        assert report.ptes_copied == 7
+        assert report.slots_shared == 81
+
+
+def test_table4_speedup_shape(benchmark, bench_scale):
+    """One-shot regeneration of the full Table 4 rows."""
+    from repro.experiments.fork import table4
+
+    result = benchmark.pedantic(table4, args=(bench_scale,),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["stock_over_shared"] = result.stock_over_shared
+    benchmark.extra_info["copied_over_stock"] = result.copied_over_stock
+    assert 1.8 <= result.stock_over_shared <= 2.8  # Paper: 2.1x.
+    assert 1.4 <= result.copied_over_stock <= 1.9  # Paper: 1.59x.
+
+
+def test_table3_inherited_ptes(benchmark, bench_scale):
+    from repro.experiments.fork import table3
+
+    result = benchmark.pedantic(table3, args=(bench_scale,),
+                                rounds=1, iterations=1)
+    for row in result.rows:
+        benchmark.extra_info[row.app] = (row.cold_inherited,
+                                         row.warm_inherited)
+        assert row.cold_inherited <= row.warm_inherited

@@ -1,0 +1,35 @@
+"""Figures 7-9 benchmark: repeated Helloworld launches, four kernels."""
+
+import pytest
+
+from repro.experiments.launch import run_launch_experiment
+
+
+@pytest.fixture(scope="module")
+def launch_result(bench_scale):
+    return run_launch_experiment(bench_scale)
+
+
+def test_figures_7_8_9(benchmark, bench_scale):
+    result = benchmark.pedantic(run_launch_experiment, args=(bench_scale,),
+                                rounds=1, iterations=1)
+    stock = result.baseline
+    shared = result.get("Shared PTP & TLB")
+    shared_2mb = result.get("Shared PTP & TLB-2MB")
+
+    benchmark.extra_info["speedup_original"] = result.speedup(
+        "Shared PTP & TLB")
+    benchmark.extra_info["stock_file_faults"] = stock.mean_file_faults
+    benchmark.extra_info["shared_file_faults"] = shared.mean_file_faults
+    benchmark.extra_info["stock_ptps"] = stock.mean_ptps
+    benchmark.extra_info["shared_ptps"] = shared.mean_ptps
+
+    # Figure 7: launch is faster with shared translations (paper 7-10%).
+    assert 0.02 <= result.speedup("Shared PTP & TLB") <= 0.20
+    # Figure 8: fewer L1-I stall cycles (paper 15-24%).
+    assert shared.l1i_box.median < stock.l1i_box.median
+    # Figure 9: ~94% fewer file-backed faults, PTPs roughly a third.
+    assert shared.mean_file_faults < 0.15 * stock.mean_file_faults
+    assert shared.mean_ptps < 0.5 * stock.mean_ptps
+    # 2MB alignment at least preserves the benefit.
+    assert shared_2mb.mean_file_faults < 0.15 * stock.mean_file_faults

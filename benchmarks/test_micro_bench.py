@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the simulator's primitives.
+
+These time the simulator itself (useful when optimising it) and double
+as regressions for the paper's per-operation cost anchors.
+"""
+
+import itertools
+
+import pytest
+
+from repro.common.events import AccessType, ifetch, store
+from repro.common.perms import MapFlags, Prot
+from repro.hw.cache import Cache
+from repro.hw.mmu import FaultKind
+from repro.hw.tlb import MainTlb, TlbEntry
+from repro.kernel.config import (
+    shared_ptp_config,
+    shared_ptp_tlb_config,
+    stock_config,
+)
+from repro.kernel.kernel import Kernel
+
+ANON = MapFlags.PRIVATE | MapFlags.ANONYMOUS
+
+_CONFIGS = {
+    "stock": stock_config,
+    "shared-ptp": shared_ptp_config,
+    "shared-ptp-tlb": shared_ptp_tlb_config,
+}
+
+
+def make_kernel(config_name: str = "shared-ptp") -> Kernel:
+    return Kernel(config=_CONFIGS[config_name]())
+
+
+def test_main_tlb_lookup(benchmark):
+    tlb = MainTlb()
+    for vpn in range(128):
+        tlb.insert(TlbEntry(vpn=vpn, asid=1, pfn=vpn, writable=False,
+                            global_=False, domain=1))
+    vpns = itertools.cycle(range(128))
+    benchmark(lambda: tlb.lookup(next(vpns), 1))
+
+
+def test_cache_access(benchmark):
+    cache = Cache("bench", 32 * 1024, 4)
+    addresses = itertools.cycle(range(0, 64 * 1024, 32))
+    benchmark(lambda: cache.access(next(addresses)))
+
+
+def test_soft_fault_cost_anchor(benchmark):
+    """One soft fault costs ~2,700 simulated cycles (paper anchor)."""
+    kernel = make_kernel("stock")
+    task = kernel.create_process("proc")
+    file = kernel.page_cache.create_file("lib", 4096)
+    vma = kernel.syscalls.mmap(task, 4096 * 4096, Prot.READ | Prot.EXEC,
+                               MapFlags.PRIVATE, file=file)
+    core = kernel.schedule(task)
+    # Warm the page cache so faults are soft.
+    warm = kernel.create_process("warm")
+    kernel.syscalls.mmap(warm, 4096 * 4096, Prot.READ, MapFlags.PRIVATE,
+                         file=file, addr=vma.start)
+    kernel.run(warm, [ifetch(vma.start + i * 4096) for i in range(2000)])
+    kernel.schedule(task)
+
+    # Cycle the page index: once every PTE exists, the handler takes
+    # its already-populated early-exit path — still a soft fault.
+    pages = itertools.cycle(range(4096))
+
+    def one_fault():
+        addr = vma.start + next(pages) * 4096
+        return kernel.fault_handler.handle(core, task, addr,
+                                           AccessType.IFETCH,
+                                           FaultKind.TRANSLATION)
+
+    outcome = benchmark(one_fault)
+    total = (outcome.overhead_cycles
+             + outcome.kernel_instructions
+             * kernel.cost.cycles_per_instruction)
+    benchmark.extra_info["simulated_cycles"] = total
+    assert total == pytest.approx(2700, rel=0.1)
+
+
+def test_event_execution_throughput(benchmark):
+    kernel = make_kernel("shared-ptp")
+    task = kernel.create_process("proc")
+    vma = kernel.syscalls.mmap(task, 256 * 4096, Prot.READ | Prot.WRITE,
+                               ANON)
+    kernel.run(task, [store(vma.start + i * 4096) for i in range(256)])
+    core = kernel.schedule(task)
+    events = itertools.cycle(
+        [ifetch(vma.start + i * 4096, count=100) for i in range(256)]
+    )
+    benchmark(lambda: kernel.engine.execute_event(core, task, next(events)))
+
+
+def test_context_switch(benchmark):
+    kernel = make_kernel("shared-ptp-tlb")
+    a = kernel.create_process("a")
+    b = kernel.create_process("b")
+    tasks = itertools.cycle([a, b])
+    benchmark(lambda: kernel.schedule(next(tasks)))

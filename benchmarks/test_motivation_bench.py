@@ -1,0 +1,74 @@
+"""Table 1/2 and Figures 2-4 benchmarks: the Section 2 analyses."""
+
+import pytest
+
+from repro.experiments import motivation
+from repro.experiments.common import build_runtime
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    return build_runtime("shared-ptp")
+
+
+def test_table1_user_kernel_split(benchmark, bench_scale, runtime):
+    result = benchmark.pedantic(motivation.table1,
+                                args=(bench_scale,),
+                                kwargs={"runtime": runtime},
+                                rounds=1, iterations=1)
+    for row in result.rows:
+        benchmark.extra_info[row["app"]] = row["user_pct"]
+        assert row["user_pct"] == pytest.approx(row["paper_user_pct"],
+                                                abs=10)
+
+
+def test_figure2_page_breakdown(benchmark, bench_scale, runtime):
+    result = benchmark.pedantic(motivation.figure2, args=(bench_scale,),
+                                kwargs={"runtime": runtime},
+                                rounds=1, iterations=1)
+    benchmark.extra_info["shared_fraction"] = (
+        result.average_shared_fraction
+    )
+    # Paper: 92.8% of instruction pages are shared code.
+    assert 0.85 <= result.average_shared_fraction <= 0.99
+
+
+def test_figure3_fetch_breakdown(benchmark, bench_scale, runtime):
+    result = benchmark.pedantic(motivation.figure3, args=(bench_scale,),
+                                kwargs={"runtime": runtime},
+                                rounds=1, iterations=1)
+    benchmark.extra_info["shared_fraction"] = (
+        result.average_shared_fraction
+    )
+    # Paper: 98% of instruction fetches go to shared code.
+    assert result.average_shared_fraction >= 0.93
+
+
+def test_table2_overlap(benchmark, bench_scale, runtime):
+    result = benchmark.pedantic(motivation.table2, args=(bench_scale,),
+                                kwargs={"runtime": runtime},
+                                rounds=1, iterations=1)
+    benchmark.extra_info["avg_preloaded"] = (
+        result.matrix.average_preloaded
+    )
+    benchmark.extra_info["avg_all_shared"] = (
+        result.matrix.average_all_shared
+    )
+    # Paper: 37.9% / 45.7% average overlap.
+    assert 25 <= result.matrix.average_preloaded <= 60
+    assert result.matrix.average_all_shared >= (
+        result.matrix.average_preloaded
+    )
+
+
+def test_figure4_sparsity(benchmark, bench_scale, runtime):
+    result = benchmark.pedantic(motivation.figure4, args=(bench_scale,),
+                                kwargs={"runtime": runtime},
+                                rounds=1, iterations=1)
+    benchmark.extra_info["memory_ratio"] = (
+        result.sparsity.average_memory_ratio
+    )
+    # Paper: 64KB pages cost ~2.6x the memory of 4KB pages per app.
+    assert result.sparsity.average_memory_ratio > 1.5
+    # Union is denser but still wasteful (paper: 94% overhead).
+    assert result.sparsity.union.memory_ratio > 1.2

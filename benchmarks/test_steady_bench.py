@@ -1,0 +1,27 @@
+"""Figures 10-12 benchmark: per-app steady-state sweep."""
+
+from repro.experiments.steady import run_steady_experiment
+
+
+def test_figures_10_11_12(benchmark, bench_scale):
+    result = benchmark.pedantic(run_steady_experiment, args=(bench_scale,),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["avg_fault_reduction"] = (
+        result.average_fault_reduction
+    )
+    for app in result.apps:
+        stock = result.get("stock", app)
+        shared = result.get("shared", app)
+        shared_2mb = result.get("shared-2mb", app)
+        benchmark.extra_info[f"{app}_fault_reduction"] = (
+            result.fault_reduction(app)
+        )
+        # Figure 10: file-backed faults drop (paper avg 38%, up to >70%).
+        assert result.fault_reduction(app) > 0.2
+        # Figure 11: fewer PTPs allocated (paper avg 35%).
+        assert shared.ptps_allocated < stock.ptps_allocated
+        # Figure 12: with 2MB alignment a larger fraction of PTPs stays
+        # shared (paper: 39% -> 60%).
+        assert shared_2mb.shared_fraction > shared.shared_fraction
+        # Section 4.2.3: 2MB alignment reduces PTE copying vs stock.
+        assert shared_2mb.ptes_copied < stock.ptes_copied

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Binder IPC under the six Figure-13 configurations.
+
+Shows how shared TLB entries change the instruction main-TLB stalls of
+a client/server pair pinned to one core, with and without ASIDs.
+
+Run:  python examples/ipc_binder_study.py
+"""
+
+from repro import Kernel
+from repro.android import boot_android
+from repro.android.binder import BinderBenchmark, BinderConfig
+from repro.kernel.config import (
+    shared_ptp_config,
+    shared_ptp_tlb_config,
+    stock_config,
+)
+
+
+def main() -> None:
+    configs = [
+        ("stock", stock_config),
+        ("shared PTP", shared_ptp_config),
+        ("shared PTP & TLB", shared_ptp_tlb_config),
+    ]
+    baseline = None
+    print(f"{'ASID':8s} {'kernel':18s} {'client iTLB':>12s} "
+          f"{'server iTLB':>12s} {'vs baseline':>22s}")
+    for asid in (False, True):
+        for label, factory in configs:
+            kernel = Kernel(config=factory().with_(asid_enabled=asid))
+            runtime = boot_android(kernel)
+            bench = BinderBenchmark(runtime,
+                                    config=BinderConfig(invocations=150))
+            result = bench.run()
+            if baseline is None:
+                baseline = result
+            rel_client = result.client.itlb_stall / baseline.client.itlb_stall
+            rel_server = result.server.itlb_stall / baseline.server.itlb_stall
+            print(f"{('on' if asid else 'off'):8s} {label:18s} "
+                  f"{result.client.itlb_stall:12.0f} "
+                  f"{result.server.itlb_stall:12.0f} "
+                  f"{100 * rel_client:9.1f}% / {100 * rel_server:.1f}%")
+    print("\n(The paper's Figure 13: TLB sharing cuts client/server "
+          "stalls by up to 36%/19% without ASIDs, and still helps with "
+          "ASIDs enabled.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Application-launch study: Figures 7-9 at a reduced scale.
+
+Launches the Helloworld app repeatedly under the four kernel/layout
+configurations and prints execution-time box plots, I-cache stalls, and
+the PTP/page-fault comparison.
+
+Run:  python examples/launch_study.py
+"""
+
+from repro.experiments.common import Scale
+from repro.experiments.launch import run_launch_experiment
+
+
+def main() -> None:
+    scale = Scale(name="example", launch_rounds=6)
+    result = run_launch_experiment(scale)
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: boot Android, fork an app, watch translations being shared.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Kernel, shared_ptp_tlb_config, stock_config
+from repro.android import boot_android
+from repro.common.rng import DeterministicRng
+from repro.workloads import HELLOWORLD, launch_app
+
+
+def launch_under(config, label: str) -> None:
+    kernel = Kernel(config=config)
+    runtime = boot_android(kernel)
+
+    print(f"--- {label} ---")
+    print(f"zygote populated {runtime.report.instruction_ptes} instruction "
+          f"PTEs and {runtime.report.anon_ptes} anonymous PTEs across "
+          f"{runtime.report.populated_slots} page-table pages")
+
+    child, fork_report = runtime.fork_app("demo-app")
+    print(f"fork: {fork_report.cycles / 1e6:.2f}M cycles, "
+          f"{fork_report.child_ptps_allocated} PTPs allocated, "
+          f"{fork_report.slots_shared} PTPs shared, "
+          f"{fork_report.ptes_copied} PTEs copied")
+    kernel.exit_task(child)
+
+    session = launch_app(runtime, HELLOWORLD, DeterministicRng(1, "demo"))
+    launch = session.launch
+    print(f"launch: {launch.cycles / 1e6:.1f}M cycles, "
+          f"{launch.file_backed_faults} file-backed faults, "
+          f"{launch.ptps_allocated} PTPs allocated, "
+          f"{launch.shared_ptps_end} still shared at the end")
+    session.finish()
+    print()
+
+
+def main() -> None:
+    launch_under(stock_config(), "stock Android kernel")
+    launch_under(shared_ptp_tlb_config(),
+                 "shared page tables + shared TLB entries")
+
+
+if __name__ == "__main__":
+    main()

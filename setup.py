@@ -1,0 +1,7 @@
+"""Legacy shim so editable installs work without the ``wheel`` package
+(this environment is offline; ``pip install -e .`` falls back to
+``setup.py develop`` through this file)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a reproduction of "Shared Address Translation Revisited"
+(Dong, Dwarkadas, Cox; EuroSys 2016) as a trace-driven simulation.
+
+Layering (bottom-up):
+
+* :mod:`repro.common`   — constants, flags, RNG, statistics, cost model
+* :mod:`repro.hw`       — ARM32 MMU, page tables, TLBs, caches, domains
+* :mod:`repro.kernel`   — Linux-like VM: VMAs, faults, fork, syscalls
+* :mod:`repro.core`     — the paper's contribution: shared PTPs + TLB
+* :mod:`repro.android`  — zygote process model, libraries, binder IPC
+* :mod:`repro.workloads`— synthetic application models and traces
+* :mod:`repro.analysis` — the paper's Section 2 motivation studies
+* :mod:`repro.experiments` — one driver per paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+from repro.kernel.config import (
+    ForkPolicy,
+    KernelConfig,
+    copy_pte_config,
+    shared_ptp_config,
+    shared_ptp_tlb_config,
+    stock_config,
+)
+from repro.kernel.kernel import Kernel
+
+__all__ = [
+    "ForkPolicy",
+    "Kernel",
+    "KernelConfig",
+    "copy_pte_config",
+    "shared_ptp_config",
+    "shared_ptp_tlb_config",
+    "stock_config",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""The paper's Section 2 motivation analyses, as library functions.
+
+These are *trace analyses*: they operate on application footprints
+(page sets), not on simulated execution — exactly like the paper's own
+methodology of interpreting page-fault traces, ``/proc/pid/smaps`` and
+``perf`` samples.
+
+* :mod:`repro.analysis.footprint` — instruction-page and fetch
+  breakdowns by code category (Figures 2 and 3).
+* :mod:`repro.analysis.overlap` — pairwise footprint intersection
+  across applications (Table 2).
+* :mod:`repro.analysis.sparsity` — 64KB-page sparsity CDFs and the
+  4KB-vs-64KB memory cost (Figure 4).
+"""
+
+from repro.analysis.footprint import (
+    CategoryBreakdown,
+    fetch_breakdown,
+    instruction_page_breakdown,
+)
+from repro.analysis.overlap import OverlapMatrix, pairwise_overlap
+from repro.analysis.sparsity import SparsityResult, sparsity_analysis
+
+__all__ = [
+    "CategoryBreakdown",
+    "OverlapMatrix",
+    "SparsityResult",
+    "fetch_breakdown",
+    "instruction_page_breakdown",
+    "pairwise_overlap",
+    "sparsity_analysis",
+]

@@ -1,0 +1,90 @@
+"""Instruction footprint breakdowns (Figures 2 and 3).
+
+Figure 2 counts the distinct instruction *pages* an application accesses
+in each of the paper's five code categories; Figure 3 weighs the same
+pages by fetch intensity to break down the *instructions executed*.
+The paper's headline findings to reproduce in shape: shared code is
+~93% of the page footprint and ~98% of fetches, with zygote-preloaded
+code the biggest contributor.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.android.libraries import CodeCategory
+from repro.workloads.session import ProbeResult
+from repro.workloads.tracegen import CATEGORY_FETCH_WEIGHT
+
+
+@dataclass
+class CategoryBreakdown:
+    """One app's breakdown over the five code categories."""
+
+    app: str
+    #: Absolute values per category (pages for Fig 2, weighted fetch
+    #: units for Fig 3).
+    values: Dict[CodeCategory, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Sum over all categories/values."""
+        return sum(self.values.values())
+
+    def fraction(self, category: CodeCategory) -> float:
+        """One category's share of the total."""
+        total = self.total
+        return self.values.get(category, 0.0) / total if total else 0.0
+
+    @property
+    def shared_fraction(self) -> float:
+        """Fraction attributable to shared code (everything private
+        application code is not)."""
+        return sum(
+            self.fraction(c) for c in CodeCategory if c.is_shared_code
+        )
+
+    @property
+    def zygote_preloaded_fraction(self) -> float:
+        """Share attributable to zygote-preloaded code."""
+        return sum(
+            self.fraction(c) for c in CodeCategory if c.is_zygote_preloaded
+        )
+
+
+def instruction_page_breakdown(
+    probes: List[ProbeResult],
+) -> List[CategoryBreakdown]:
+    """Figure 2: accessed instruction pages per category, per app."""
+    rows = []
+    for probe in probes:
+        counts = probe.footprint.code_pages_by_category()
+        rows.append(CategoryBreakdown(
+            app=probe.profile.name,
+            values={cat: float(count) for cat, count in counts.items()},
+        ))
+    return rows
+
+
+def fetch_breakdown(probes: List[ProbeResult]) -> List[CategoryBreakdown]:
+    """Figure 3: instructions fetched per category (page counts weighted
+    by per-category fetch intensity), normalised per app by the caller
+    via :attr:`CategoryBreakdown.fraction`."""
+    rows = []
+    for probe in probes:
+        counts = probe.footprint.code_pages_by_category()
+        rows.append(CategoryBreakdown(
+            app=probe.profile.name,
+            values={
+                cat: count * CATEGORY_FETCH_WEIGHT[cat]
+                for cat, count in counts.items()
+            },
+        ))
+    return rows
+
+
+def average_fraction(rows: List[CategoryBreakdown],
+                     category: CodeCategory) -> float:
+    """Mean per-app fraction of one category (the paper's averages)."""
+    if not rows:
+        return 0.0
+    return sum(row.fraction(category) for row in rows) / len(rows)

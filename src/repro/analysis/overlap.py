@@ -1,0 +1,68 @@
+"""Cross-application shared-code commonality (Table 2).
+
+For each pair of applications we intersect the sets of shared-code
+pages each accesses (by file identity, not virtual address) and express
+the intersection as a percentage of the row application's *total*
+instruction footprint — exactly Table 2's cell definition.  Two
+variants, as in the paper: zygote-preloaded shared code only, and all
+shared code (adding platform-/app-specific DSOs).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.common.stats import mean
+from repro.workloads.session import ProbeResult
+
+
+@dataclass
+class OverlapMatrix:
+    """Pairwise intersection percentages, row-normalised."""
+
+    apps: List[str]
+    #: (row, col) -> % of row's instruction footprint, preloaded only.
+    preloaded: Dict[Tuple[str, str], float]
+    #: (row, col) -> % of row's instruction footprint, all shared code.
+    all_shared: Dict[Tuple[str, str], float]
+
+    def cell(self, row: str, col: str) -> Tuple[float, float]:
+        """One (row, column) pair's values."""
+        key = (row, col)
+        return self.preloaded[key], self.all_shared[key]
+
+    @property
+    def average_preloaded(self) -> float:
+        """The paper's 37.9% headline: mean off-diagonal cell."""
+        return mean(
+            value for (row, col), value in self.preloaded.items()
+            if row != col
+        )
+
+    @property
+    def average_all_shared(self) -> float:
+        """The paper's 45.7% headline."""
+        return mean(
+            value for (row, col), value in self.all_shared.items()
+            if row != col
+        )
+
+
+def pairwise_overlap(probes: List[ProbeResult]) -> OverlapMatrix:
+    """Compute Table 2 over the given application probes."""
+    preloaded: Dict[Tuple[str, str], float] = {}
+    all_shared: Dict[Tuple[str, str], float] = {}
+    for row in probes:
+        row_total = max(1, row.total_instruction_pages)
+        for col in probes:
+            key = (row.profile.name, col.profile.name)
+            preloaded[key] = 100.0 * len(
+                row.preloaded_identity & col.preloaded_identity
+            ) / row_total
+            all_shared[key] = 100.0 * len(
+                row.shared_identity & col.shared_identity
+            ) / row_total
+    return OverlapMatrix(
+        apps=[p.profile.name for p in probes],
+        preloaded=preloaded,
+        all_shared=all_shared,
+    )

@@ -1,0 +1,32 @@
+"""The Android process model: zygote, libraries, apps, binder IPC.
+
+This layer reproduces the environment of the paper's Section 2: a
+zygote process that preloads the shared libraries, ART boot images and
+the ``app_process`` binary at boot; applications forked from the zygote
+*without exec*, inheriting identical translations for all preloaded
+code; and the binder IPC mechanism every Android app exercises.
+"""
+
+from repro.android.catalog import AndroidCatalog, CatalogSpec
+from repro.android.layout import LayoutMode, LibraryLayout
+from repro.android.libraries import (
+    CodeCategory,
+    SharedLibrary,
+    SegmentKind,
+    VmaTag,
+)
+from repro.android.zygote import AndroidRuntime, ZygoteReport, boot_android
+
+__all__ = [
+    "AndroidCatalog",
+    "AndroidRuntime",
+    "CatalogSpec",
+    "CodeCategory",
+    "LayoutMode",
+    "LibraryLayout",
+    "SegmentKind",
+    "SharedLibrary",
+    "VmaTag",
+    "ZygoteReport",
+    "boot_android",
+]

@@ -1,0 +1,260 @@
+"""The Android binder IPC microbenchmark (paper, Section 4.2.4).
+
+A parent process acts as a service and a child process as a client that
+binds to it and invokes its API repeatedly; both are zygote children
+and both run the zygote-preloaded ``libbinder.so`` intensively.  As in
+the paper, both processes are pinned to one core (cpuset), so every
+invocation is two context switches on that core.
+
+What the experiment isolates: with private translations, the client and
+the server each hold their *own* TLB entries for the same libbinder
+code, and the combined working set overflows the 128-entry main TLB;
+with shared (global) TLB entries one copy serves both.  Without ASIDs,
+a context switch flushes all non-global entries, so shared entries are
+additionally the only translations that survive a switch.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.events import AccessEvent, ifetch
+from repro.common.rng import DeterministicRng
+from repro.android.catalog import AndroidCatalog
+from repro.android.zygote import AndroidRuntime
+from repro.kernel.engine import KernelPath
+from repro.kernel.task import Task
+
+
+@dataclass
+class BinderConfig:
+    """Workload shape of the IPC microbenchmark."""
+
+    #: API invocations measured (the paper runs 100,000 on hardware; the
+    #: simulation reaches steady state within a few hundred).
+    invocations: int = 300
+    warmup_invocations: int = 10
+    #: Hot libbinder.so code pages both sides execute.
+    binder_pages: int = 18
+    #: Shared framework pages the server also runs (libandroid_runtime).
+    server_framework_pages: int = 8
+    #: Private code pages per side (the benchmark binaries).
+    client_private_pages: int = 18
+    server_private_pages: int = 48
+    #: Instructions per page burst within an invocation.
+    burst: int = 150
+    #: Kernel binder-driver instructions per transaction hop.
+    kernel_instructions: int = 250
+    core_id: int = 0
+    #: A non-zygote system daemon preempts the pair every N invocations
+    #: (the paper pins the pair to one core, but daemons still run).
+    noise_every: int = 4
+    #: The daemon's per-quantum instruction footprint, in pages.
+    noise_pages: int = 30
+    #: ... of which this many are mapped at the *same* virtual addresses
+    #: as zygote-preloaded code (deterministic loader, no ASLR) — these
+    #: are the accesses the zygote domain must confine: they match
+    #: global TLB entries and take domain faults (Section 3.2.3).
+    noise_colliding_pages: int = 12
+
+
+@dataclass
+class BinderSideResult:
+    """Per-process measurement over the measured invocations."""
+
+    name: str
+    cycles: float = 0.0
+    instructions: int = 0
+    #: Instruction main-TLB stall cycles — the Figure 13 metric.
+    itlb_stall: float = 0.0
+    micro_tlb_stall: float = 0.0
+    l1i_stall: float = 0.0
+    file_backed_faults: int = 0
+    domain_faults: int = 0
+    ptps_allocated: int = 0
+
+
+@dataclass
+class BinderResult:
+    """Client and server measurements of one run."""
+    client: BinderSideResult
+    server: BinderSideResult
+    context_switches: int = 0
+
+
+class BinderBenchmark:
+    """Client/server binder ping-pong on one core."""
+
+    def __init__(self, runtime: AndroidRuntime,
+                 config: BinderConfig = None,
+                 seed: int = 11) -> None:
+        self.runtime = runtime
+        self.config = config or BinderConfig()
+        self._rng = DeterministicRng(seed, "binder")
+        self.client: Task = None
+        self.server: Task = None
+        self.noise: Task = None
+        self._client_trace: List[AccessEvent] = []
+        self._server_trace: List[AccessEvent] = []
+        self._noise_trace: List[AccessEvent] = []
+        self._invocation_count = 0
+
+    # ------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Fork both processes from the zygote and build their bursts."""
+        runtime, config = self.runtime, self.config
+        kernel = runtime.kernel
+
+        self.server, _ = runtime.fork_app("binder-server")
+        self.client, _ = runtime.fork_app("binder-client")
+        self.server.pinned_core = config.core_id
+        self.client.pinned_core = config.core_id
+
+        binder_pages = self._lib_pages("libbinder.so", config.binder_pages)
+        framework_pages = self._lib_pages(
+            "libandroid_runtime.so", config.server_framework_pages
+        )
+        client_private = self._map_private(
+            self.client, "binder-client", config.client_private_pages
+        )
+        server_private = self._map_private(
+            self.server, "binder-server", config.server_private_pages
+        )
+
+        # Per-invocation instruction bursts: the same libbinder pages on
+        # both sides (identical virtual addresses — inherited from the
+        # zygote), plus each side's private code.
+        self._client_trace = [
+            ifetch(addr, count=config.burst, lines=5)
+            for addr in binder_pages + client_private
+        ]
+        self._server_trace = [
+            ifetch(addr, count=config.burst, lines=5)
+            for addr in binder_pages + framework_pages + server_private
+        ]
+        self._setup_noise_daemon()
+
+    def _setup_noise_daemon(self) -> None:
+        """A non-zygote system daemon sharing the core.
+
+        It maps part of the preloaded libraries at the *same* virtual
+        addresses the zygote uses (the deterministic loader would), so
+        with shared TLB entries its accesses match global entries it
+        has no domain rights to — exercising the domain-fault path.
+        """
+        runtime, config = self.runtime, self.config
+        kernel = runtime.kernel
+        self.noise = kernel.create_process("mediaserver")
+        self.noise.pinned_core = config.core_id
+
+        own_pages = self._map_private(
+            self.noise, "mediaserver",
+            max(1, config.noise_pages - config.noise_colliding_pages),
+        )
+        # The daemon also uses binder and the runtime — the same hot
+        # pages the client/server keep loading as global entries.
+        colliding: List[int] = []
+        for name in ("libbinder.so", "libandroid_runtime.so"):
+            if len(colliding) >= config.noise_colliding_pages:
+                break
+            zygote_vma = runtime.mapped[name].code_vma
+            # Same file, same virtual address, its own private mapping.
+            kernel.syscalls.mmap(
+                self.noise,
+                length=zygote_vma.end - zygote_vma.start,
+                prot=zygote_vma.prot,
+                flags=zygote_vma.flags,
+                file=zygote_vma.file,
+                file_page_offset=zygote_vma.file_page_offset,
+                addr=zygote_vma.start,
+            )
+            take = min(
+                config.noise_colliding_pages - len(colliding),
+                len(runtime.touched_code_pages[name]),
+            )
+            colliding.extend(runtime.touched_code_pages[name][:take])
+        self._noise_trace = [
+            ifetch(addr, count=config.burst, lines=4)
+            for addr in own_pages + colliding
+        ]
+
+    def _lib_pages(self, name: str, count: int) -> List[int]:
+        touched = self.runtime.touched_code_pages[name]
+        if count > len(touched):
+            # Extend with untouched pages of the same library.
+            vma = self.runtime.mapped[name].code_vma
+            extra = [
+                addr for addr in range(vma.start, vma.end, 4096)
+                if addr not in set(touched)
+            ]
+            return list(touched) + extra[: count - len(touched)]
+        return list(touched[:count])
+
+    def _map_private(self, task: Task, name: str, pages: int) -> List[int]:
+        lib = AndroidCatalog.make_app_dso(name, 0, pages)
+        mapped = self.runtime.layout.map_library(task, lib)
+        vma = mapped.code_vma
+        return [vma.start + i * 4096 for i in range(pages)]
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> BinderResult:
+        """Warm up, then measure ``invocations`` ping-pongs."""
+        if self.client is None:
+            self.setup()
+        config = self.config
+        kernel = self.runtime.kernel
+        for _ in range(config.warmup_invocations):
+            self._one_invocation()
+
+        client_before = (self.client.stats.snapshot(),
+                         self.client.counters.snapshot())
+        server_before = (self.server.stats.snapshot(),
+                         self.server.counters.snapshot())
+        for _ in range(config.invocations):
+            self._one_invocation()
+
+        return BinderResult(
+            client=self._side_result("client", self.client, client_before),
+            server=self._side_result("server", self.server, server_before),
+            context_switches=(
+                self.client.counters.context_switches
+                + self.server.counters.context_switches
+            ),
+        )
+
+    def _one_invocation(self) -> None:
+        kernel = self.runtime.kernel
+        config = self.config
+        core = kernel.platform.cores[config.core_id]
+        self._invocation_count += 1
+        if config.noise_every and (
+                self._invocation_count % config.noise_every == 0):
+            kernel.run(self.noise, self._noise_trace, config.core_id)
+        # Client runs, then traps into the binder driver...
+        kernel.run(self.client, self._client_trace, config.core_id)
+        kernel.engine.run_kernel_path(
+            core, self.client, KernelPath.BINDER, config.kernel_instructions
+        )
+        # ... the transaction switches to the server, which executes and
+        # replies through the driver again.
+        kernel.run(self.server, self._server_trace, config.core_id)
+        kernel.engine.run_kernel_path(
+            core, self.server, KernelPath.BINDER, config.kernel_instructions
+        )
+
+    @staticmethod
+    def _side_result(name: str, task: Task, before) -> BinderSideResult:
+        stats = task.stats.delta_since(before[0])
+        counters = task.counters.delta_since(before[1])
+        return BinderSideResult(
+            name=name,
+            cycles=stats.total_cycles,
+            instructions=stats.instructions,
+            itlb_stall=stats.itlb_stall,
+            micro_tlb_stall=stats.micro_tlb_stall,
+            l1i_stall=stats.l1i_stall,
+            file_backed_faults=counters.file_backed_faults,
+            domain_faults=counters.domain_faults,
+            ptps_allocated=counters.ptps_allocated,
+        )

@@ -1,0 +1,212 @@
+"""The library catalog: what the zygote preloads, and what else exists.
+
+Sizes are synthetic but calibrated so the zygote's address space
+reproduces the paper's published absolute numbers (Section 4.2.1):
+
+* ~5,900 populated instruction PTEs of zygote-preloaded DSO code before
+  the first app is forked (Table 4: the copy-PTE fork variant copies
+  9,800 = 3,900 anonymous + 5,900 code PTEs);
+* ~3,900 anonymous PTEs across 37 page-table slots plus a 7-PTE stack
+  (stock fork: 3,900 PTEs copied, 38 PTPs allocated);
+* preloaded DSO code+data packed into ~13 2MB slots (copy-PTE fork
+  allocates 13 extra PTPs: 51 vs 38);
+* ~81 shareable populated slots overall (Table 4: 81 shared PTPs).
+
+The number of preloaded DSOs (88) and their size range (4KB to tens of
+MB) match the paper's description of the Nexus 7 image.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.rng import DeterministicRng
+from repro.android.libraries import CodeCategory, SharedLibrary
+
+#: Hand-picked large preloaded libraries (name, code pages); the rest of
+#: the 88 are generated fillers.  Sizes follow the KitKat-era system
+#: image shape: one huge webview library, a large runtime, etc.
+_MAJOR_PRELOADED_DSOS = [
+    ("libwebviewchromium.so", 1500),
+    ("libart.so", 700),
+    ("libskia.so", 500),
+    ("libicui18n.so", 400),
+    ("libcrypto.so", 300),
+    ("libandroid_runtime.so", 250),
+    ("libmedia.so", 220),
+    ("libstagefright.so", 200),
+    ("libicuuc.so", 180),
+    ("libssl.so", 120),
+    ("libsqlite.so", 110),
+    ("libc.so", 80),
+    ("libhwui.so", 75),
+    ("libandroidfw.so", 60),
+    ("libbinder.so", 50),
+    ("libgui.so", 45),
+    ("libft2.so", 40),
+    ("libdvm_compat.so", 36),
+    ("libharfbuzz_ng.so", 32),
+    ("libexpat.so", 28),
+    ("libstdc++.so", 24),
+    ("libm.so", 20),
+    ("linker", 18),
+    ("libutils.so", 16),
+    ("libz.so", 14),
+    ("libcutils.so", 12),
+    ("liblog.so", 6),
+    ("libdl.so", 1),
+]
+
+#: Platform-specific (non-preloaded) libraries, e.g. the GPU stack.
+_PLATFORM_DSOS = [
+    ("libnvomx.so", 320),
+    ("libGLESv2_tegra.so", 280),
+    ("libnvddk_2d_v2.so", 180),
+    ("libnvmm.so", 160),
+    ("libEGL_tegra.so", 120),
+    ("libnvrm.so", 90),
+    ("libnvos.so", 70),
+    ("libaudiopolicy_vendor.so", 60),
+    ("libcamera_vendor.so", 150),
+    ("libril_vendor.so", 40),
+    ("libwvm.so", 110),
+    ("libdrmdecrypt.so", 35),
+    ("libsensors_vendor.so", 25),
+    ("libgps_vendor.so", 45),
+    ("libnvwinsys.so", 55),
+    ("libnvglsi.so", 65),
+    ("libnvidia_display.so", 85),
+    ("libtegra_hal.so", 95),
+    ("libpowerhal.so", 15),
+    ("liblightshal.so", 10),
+]
+
+
+@dataclass
+class CatalogSpec:
+    """Calibration knobs for the synthetic system image."""
+
+    num_preloaded_dsos: int = 88
+    #: Total preloaded DSO code pages (zygote touches most of them).
+    dso_code_pages_total: int = 6200
+    #: Data pages per DSO = max(1, code // data_divisor).
+    data_divisor: int = 40
+    # ART boot images (category ZYGOTE_JAVA).
+    boot_oat_pages: int = 4096  # 16MB of AOT-compiled framework code.
+    boot_art_pages: int = 5120  # 20MB boot image (objects/data).
+    # The zygote's main binary.
+    app_process_code_pages: int = 20
+    app_process_data_pages: int = 4
+    # Read-only resource files mapped by the zygote.
+    resources: Dict[str, int] = field(default_factory=lambda: {
+        "framework-res.apk": 2048,   # 8MB
+        "fonts.bundle": 1024,        # 4MB
+        "icudt51l.dat": 1024,        # 4MB
+        "misc-assets.bundle": 2048,  # 8MB
+    })
+    seed: int = 20160418  # EuroSys'16 opening day.
+
+
+class AndroidCatalog:
+    """All mappable objects of the simulated system image."""
+
+    def __init__(self, spec: CatalogSpec = None) -> None:
+        self.spec = spec or CatalogSpec()
+        rng = DeterministicRng(self.spec.seed, "catalog")
+        self.preloaded_dsos: List[SharedLibrary] = self._build_preloaded(rng)
+        self.boot_oat = SharedLibrary(
+            "boot.oat", CodeCategory.ZYGOTE_JAVA,
+            code_pages=self.spec.boot_oat_pages, data_pages=0,
+        )
+        self.boot_art = SharedLibrary(
+            "boot.art", CodeCategory.ZYGOTE_JAVA,
+            code_pages=0, data_pages=self.spec.boot_art_pages,
+            is_resource=True,
+        )
+        self.app_process = SharedLibrary(
+            "app_process", CodeCategory.ZYGOTE_BINARY,
+            code_pages=self.spec.app_process_code_pages,
+            data_pages=self.spec.app_process_data_pages,
+        )
+        self.resources: List[SharedLibrary] = [
+            SharedLibrary(name, CodeCategory.ZYGOTE_JAVA, 0, pages,
+                          is_resource=True)
+            for name, pages in sorted(self.spec.resources.items())
+        ]
+        self.platform_dsos: List[SharedLibrary] = [
+            SharedLibrary(name, CodeCategory.OTHER_DSO, code,
+                          max(1, code // self.spec.data_divisor))
+            for name, code in _PLATFORM_DSOS
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _build_preloaded(self, rng: DeterministicRng) -> List[SharedLibrary]:
+        spec = self.spec
+        majors = list(_MAJOR_PRELOADED_DSOS)
+        major_total = sum(code for _, code in majors)
+        fillers_needed = spec.num_preloaded_dsos - len(majors)
+        if fillers_needed < 0:
+            raise ValueError("num_preloaded_dsos smaller than major list")
+        remaining = spec.dso_code_pages_total - major_total
+        if remaining < fillers_needed:
+            raise ValueError("dso_code_pages_total too small")
+
+        filler_rng = rng.fork("fillers")
+        sizes = []
+        for index in range(fillers_needed):
+            left = fillers_needed - index - 1
+            # Keep at least one page for each remaining filler.
+            upper = max(1, min(60, remaining - left))
+            size = filler_rng.randint(1, upper)
+            sizes.append(size)
+            remaining -= size
+        # Distribute any leftover pages over the fillers round-robin so
+        # the total is exact.
+        index = 0
+        while remaining > 0:
+            sizes[index % len(sizes)] += 1
+            remaining -= 1
+            index += 1
+
+        libs = [
+            SharedLibrary(name, CodeCategory.ZYGOTE_DSO, code,
+                          max(1, code // spec.data_divisor))
+            for name, code in majors
+        ]
+        libs.extend(
+            SharedLibrary(f"libframework{index:02d}.so",
+                          CodeCategory.ZYGOTE_DSO, size,
+                          max(1, size // spec.data_divisor))
+            for index, size in enumerate(sizes)
+        )
+        return libs
+
+    # ------------------------------------------------------------------
+
+    @property
+    def dso_code_pages(self) -> int:
+        """Total code pages across the preloaded DSOs."""
+        return sum(lib.code_pages for lib in self.preloaded_dsos)
+
+    @property
+    def dso_data_pages(self) -> int:
+        """Total data pages across the preloaded DSOs."""
+        return sum(lib.data_pages for lib in self.preloaded_dsos)
+
+    def preloaded_by_name(self, name: str) -> SharedLibrary:
+        """Look up one preloaded DSO by file name."""
+        for lib in self.preloaded_dsos:
+            if lib.name == name:
+                return lib
+        raise KeyError(name)
+
+    @staticmethod
+    def make_app_dso(app_name: str, index: int,
+                     code_pages: int) -> SharedLibrary:
+        """An application-specific private shared library."""
+        return SharedLibrary(
+            f"lib{app_name.lower().replace(' ', '')}-{index}.so",
+            CodeCategory.OTHER_DSO,
+            code_pages,
+            max(1, code_pages // 40),
+        )

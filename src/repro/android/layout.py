@@ -1,0 +1,160 @@
+"""Library mapping: the dynamic loader, with the paper's two layouts.
+
+* ``ORIGINAL`` — the stock loader: a library's data segment is placed
+  immediately after its code segment, and libraries pack tightly in the
+  mmap area.  Code and data of the same (or neighbouring) libraries
+  routinely land in the same 2MB page-table page, so a write to one
+  data segment unshares translations for code (Section 3.1.3).
+* ``ALIGNED_2MB`` — the paper's recompiled variant: each library's code
+  segment is mapped at a 2MB boundary and its data segment 2MB later,
+  guaranteeing they live in different page-table pages.  Code PTPs can
+  then stay shared forever, at the price of a larger virtual span.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.constants import PAGE_SIZE, PTP_SPAN, align_up
+from repro.common.perms import MapFlags, Prot
+from repro.android.libraries import (
+    SegmentKind,
+    SharedLibrary,
+    VmaTag,
+)
+from repro.kernel.pagecache import FileObject
+from repro.kernel.task import Task
+from repro.kernel.vma import Vma
+
+
+class LayoutMode(enum.Enum):
+    """The two library layouts the paper compares."""
+    ORIGINAL = "original"
+    ALIGNED_2MB = "2mb-aligned"
+
+
+@dataclass
+class MappedLibrary:
+    """The VMAs one library occupies in one address space."""
+
+    library: SharedLibrary
+    file: FileObject
+    code_vma: Optional[Vma] = None
+    data_vma: Optional[Vma] = None
+
+    @property
+    def code_start(self) -> int:
+        """Base address of the code segment."""
+        if self.code_vma is None:
+            raise ValueError(f"{self.library.name} has no code segment")
+        return self.code_vma.start
+
+    @property
+    def data_start(self) -> int:
+        """Base address of the data segment."""
+        if self.data_vma is None:
+            raise ValueError(f"{self.library.name} has no data segment")
+        return self.data_vma.start
+
+
+class LibraryLayout:
+    """Maps libraries into address spaces under one layout mode.
+
+    One instance per runtime: it owns the file objects, so every process
+    mapping the same library shares its page-cache frames.
+    """
+
+    def __init__(self, kernel, mode: LayoutMode = LayoutMode.ORIGINAL) -> None:
+        self._kernel = kernel
+        self.mode = mode
+        self._files: Dict[str, FileObject] = {}
+
+    def file_for(self, library: SharedLibrary) -> FileObject:
+        """The (cached) file object backing a library."""
+        file = self._files.get(library.name)
+        if file is None:
+            file = self._kernel.page_cache.create_file(
+                library.name, library.total_pages
+            )
+            self._files[library.name] = file
+        return file
+
+    # ------------------------------------------------------------------
+
+    def map_library(self, task: Task, library: SharedLibrary,
+                    zygote_preloaded: bool = False,
+                    addr: Optional[int] = None) -> MappedLibrary:
+        """Map a library's segments into ``task``'s address space."""
+        file = self.file_for(library)
+        mapped = MappedLibrary(library=library, file=file)
+
+        if library.code_pages == 0:
+            # Resource object: one read-only data mapping.
+            mapped.data_vma = self._map_segment(
+                task, library, file, SegmentKind.RESOURCE,
+                pages=library.data_pages, file_page_offset=0,
+                prot=Prot.READ, addr=addr,
+                alignment=self._resource_alignment(),
+                zygote_preloaded=zygote_preloaded,
+            )
+            return mapped
+
+        code_alignment = (
+            PTP_SPAN if self.mode is LayoutMode.ALIGNED_2MB else PAGE_SIZE
+        )
+        mapped.code_vma = self._map_segment(
+            task, library, file, SegmentKind.CODE,
+            pages=library.code_pages, file_page_offset=0,
+            prot=Prot.READ | Prot.EXEC, addr=addr,
+            alignment=code_alignment,
+            zygote_preloaded=zygote_preloaded,
+        )
+        if library.data_pages:
+            if self.mode is LayoutMode.ALIGNED_2MB:
+                # Data 2MB past the end of code: a different PTP,
+                # always (Section 3.1.3).
+                data_addr = align_up(mapped.code_vma.end, PTP_SPAN)
+            else:
+                data_addr = mapped.code_vma.end
+            mapped.data_vma = self._map_segment(
+                task, library, file, SegmentKind.DATA,
+                pages=library.data_pages,
+                file_page_offset=library.code_pages,
+                prot=Prot.READ | Prot.WRITE, addr=data_addr,
+                alignment=PAGE_SIZE,
+                zygote_preloaded=zygote_preloaded,
+            )
+        return mapped
+
+    def map_in_child(self, task: Task, mapped: MappedLibrary) -> None:
+        """No-op placeholder: children inherit mappings through fork.
+
+        Present so scenarios read naturally; only processes *not* forked
+        from the zygote need to call :meth:`map_library` themselves.
+        """
+
+    # ------------------------------------------------------------------
+
+    def _resource_alignment(self) -> int:
+        # Resources are large and mapped once by the zygote; aligning
+        # them to PTP boundaries keeps the slot accounting stable across
+        # layout modes (the paper's recompilation only affects DSOs).
+        return PTP_SPAN
+
+    def _map_segment(self, task: Task, library: SharedLibrary,
+                     file: FileObject, segment: SegmentKind, pages: int,
+                     file_page_offset: int, prot: Prot,
+                     addr: Optional[int], alignment: int,
+                     zygote_preloaded: bool) -> Vma:
+        return self._kernel.syscalls.mmap(
+            task,
+            length=pages * PAGE_SIZE,
+            prot=prot,
+            flags=MapFlags.PRIVATE,
+            file=file,
+            file_page_offset=file_page_offset,
+            addr=addr,
+            alignment=alignment,
+            tag=VmaTag(library=library, segment=segment),
+            zygote_preloaded=zygote_preloaded,
+        )

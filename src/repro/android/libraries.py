@@ -1,0 +1,105 @@
+"""Shared-library descriptions and the paper's code taxonomy.
+
+Section 2.1/2.3 distinguishes five sources of instruction pages:
+
+1. zygote-preloaded dynamic shared libraries (``.so`` files and the
+   dynamic loader),
+2. zygote-preloaded Java shared libraries (ART ahead-of-time compiled
+   boot images, ``boot.oat``/``boot.art``),
+3. the zygote's C++ program binary, ``app_process``,
+4. other dynamic shared libraries (platform-specific, e.g. GPU
+   drivers, and application-specific private libraries), and
+5. private application code.
+
+Every VMA the Android layer creates carries a :class:`VmaTag` naming
+its library, segment kind and category, which is what the Section 2
+analyses (Figures 2-4, Tables 1-2) aggregate over.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class CodeCategory(enum.Enum):
+    """The paper's instruction-source categories (Figures 2 and 3)."""
+
+    ZYGOTE_DSO = "zygote-preloaded dynamic shared lib"
+    ZYGOTE_JAVA = "zygote-preloaded Java shared lib"
+    ZYGOTE_BINARY = "zygote program binary"
+    OTHER_DSO = "dynamic shared lib not preloaded by zygote"
+    PRIVATE = "private code"
+
+    @property
+    def is_zygote_preloaded(self) -> bool:
+        """True for the three zygote-preloaded categories."""
+        return self in (
+            CodeCategory.ZYGOTE_DSO,
+            CodeCategory.ZYGOTE_JAVA,
+            CodeCategory.ZYGOTE_BINARY,
+        )
+
+    @property
+    def is_shared_code(self) -> bool:
+        """'Shared code' in the paper's sense: everything except
+        private application code."""
+        return self is not CodeCategory.PRIVATE
+
+
+class SegmentKind(enum.Enum):
+    """Code, data, or read-only resource segment."""
+    CODE = "code"
+    DATA = "data"
+    RESOURCE = "resource"  # Read-only data files (apk, fonts, icu, ...).
+
+
+@dataclass(frozen=True)
+class SharedLibrary:
+    """A mappable library (or data file): code + data segment sizes."""
+
+    name: str
+    category: CodeCategory
+    code_pages: int
+    data_pages: int
+    #: Resource-only objects (no code), e.g. framework-res.apk.
+    is_resource: bool = False
+
+    @property
+    def total_pages(self) -> int:
+        """Code plus data pages."""
+        return self.code_pages + self.data_pages
+
+    def __post_init__(self) -> None:
+        if self.code_pages < 0 or self.data_pages < 0:
+            raise ValueError(f"{self.name}: negative segment size")
+        if self.total_pages == 0:
+            raise ValueError(f"{self.name}: empty library")
+        if self.is_resource and self.code_pages:
+            raise ValueError(f"{self.name}: resources cannot have code")
+
+
+@dataclass(frozen=True)
+class VmaTag:
+    """Attached to every Android-layer VMA for the Section 2 analyses."""
+
+    library: SharedLibrary
+    segment: SegmentKind
+
+    @property
+    def category(self) -> CodeCategory:
+        """The owning library's code category."""
+        return self.library.category
+
+    @property
+    def is_instruction_segment(self) -> bool:
+        """True when the tag marks executable code."""
+        return self.segment is SegmentKind.CODE
+
+
+def private_code_library(app_name: str, pages: int) -> SharedLibrary:
+    """The app's own executable code (dex/oat), category PRIVATE."""
+    return SharedLibrary(
+        name=f"{app_name}.odex",
+        category=CodeCategory.PRIVATE,
+        code_pages=pages,
+        data_pages=max(1, pages // 16),
+    )

@@ -1,0 +1,377 @@
+"""Booting the Android runtime: zygote creation and library preloading.
+
+``boot_android`` builds the zygote exactly as Section 2.1 describes: a
+process started at boot (exec sets its zygote flag) that maps the
+``app_process`` binary, the 88 preloaded dynamic shared libraries, the
+ART boot images, and the framework resources — then *touches* a
+calibrated portion of them, populating its page tables.  Applications
+are later forked from this process without exec, inheriting the
+preloaded address space.
+
+The touch targets reproduce the paper's zygote numbers (Section 4.2.1):
+~5,900 populated DSO-code instruction PTEs, ~3,900 anonymous PTEs in 38
+page-table slots (stack included), ~81 shareable populated slots.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.constants import PAGE_SIZE, PTP_SPAN, ptp_index
+from repro.common.events import AccessEvent, ifetch, load, store
+from repro.common.perms import MapFlags, Prot
+from repro.common.rng import DeterministicRng
+from repro.android.catalog import AndroidCatalog
+from repro.android.layout import LayoutMode, LibraryLayout, MappedLibrary
+from repro.android.libraries import CodeCategory
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import Task
+from repro.kernel.vma import Vma
+
+#: Anonymous-region placement (kept clear of the mmap area so anonymous
+#: and file-backed content never share a 2MB page-table slot).
+JAVA_HEAP_BASE = 0x9000_0000
+JAVA_HEAP_SPAN = 48 * 1024 * 1024
+NATIVE_HEAP_BASE = 0x9800_0000
+NATIVE_HEAP_SPAN = 16 * 1024 * 1024
+MISC_ANON_BASE = 0x9A00_0000
+MISC_ANON_SPAN = 10 * 1024 * 1024
+STACK_TOP = 0xBF00_0000
+STACK_PAGES = 32
+APP_PROCESS_BASE = 0x0000_8000
+
+@dataclass(frozen=True)
+class ZygoteCalibration:
+    """Preload touch targets (see module docstring for the paper
+    numbers these defaults reproduce)."""
+
+    dso_code_ptes: int = 5900
+    oat_code_ptes: int = 1430
+    art_data_ptes: int = 2000
+    resource_touch_fraction: float = 0.28
+    dso_data_read_ptes: int = 150
+    java_heap_ptes: int = 2400
+    native_heap_ptes: int = 900
+    misc_anon_ptes: int = 593
+    stack_ptes: int = 7
+
+    @classmethod
+    def small(cls) -> "ZygoteCalibration":
+        """A fast-boot variant for tests (scaled down ~10x)."""
+        return cls(
+            dso_code_ptes=590, oat_code_ptes=140, art_data_ptes=200,
+            resource_touch_fraction=0.05, dso_data_read_ptes=20,
+            java_heap_ptes=240, native_heap_ptes=90, misc_anon_ptes=60,
+            stack_ptes=7,
+        )
+
+
+DEFAULT_CALIBRATION = ZygoteCalibration()
+
+
+@dataclass
+class ZygoteReport:
+    """What the preload populated (verification hooks for tests)."""
+
+    dso_code_ptes: int = 0
+    java_code_ptes: int = 0
+    binary_code_ptes: int = 0
+    file_data_ptes: int = 0
+    anon_ptes: int = 0
+    stack_ptes: int = 0
+    populated_slots: int = 0
+    anon_slots: int = 0
+
+    @property
+    def instruction_ptes(self) -> int:
+        """All populated instruction PTEs (DSO + Java + binary)."""
+        return self.dso_code_ptes + self.java_code_ptes + self.binary_code_ptes
+
+
+@dataclass
+class AndroidRuntime:
+    """A booted Android system: the zygote plus its mapping metadata."""
+
+    kernel: Kernel
+    catalog: AndroidCatalog
+    layout: LibraryLayout
+    zygote: Task
+    mapped: Dict[str, MappedLibrary] = field(default_factory=dict)
+    java_heap: Optional[Vma] = None
+    native_heap: Optional[Vma] = None
+    misc_anon: Optional[Vma] = None
+    stack: Optional[Vma] = None
+    #: Code page addresses the zygote touched, per library name (the
+    #: app models bias their footprints toward these, which is what
+    #: Table 3's cold-start inheritance measures).
+    touched_code_pages: Dict[str, List[int]] = field(default_factory=dict)
+    #: Data/resource page addresses the zygote read, per object name.
+    touched_data_pages: Dict[str, List[int]] = field(default_factory=dict)
+    report: ZygoteReport = field(default_factory=ZygoteReport)
+    calibration: "ZygoteCalibration" = None
+    #: Canonical "hotness" ranking over all zygote-populated code pages;
+    #: apps draw their inherited footprints from a prefix-biased sample
+    #: of this list, producing the cross-application commonality of
+    #: Section 2.3.2.
+    code_hot_ranking: List[int] = field(default_factory=list)
+
+    @property
+    def mode(self) -> LayoutMode:
+        """The library layout mode this runtime was booted with."""
+        return self.layout.mode
+
+    def mapping(self, name: str) -> MappedLibrary:
+        """The mapped segments of one preloaded object, by name."""
+        return self.mapped[name]
+
+    def fork_app(self, name: str):
+        """Fork an application process from the zygote (no exec)."""
+        return self.kernel.fork(self.zygote, name)
+
+
+def boot_android(kernel: Kernel, catalog: Optional[AndroidCatalog] = None,
+                 mode: LayoutMode = LayoutMode.ORIGINAL,
+                 seed: int = 7,
+                 calibration: Optional[ZygoteCalibration] = None,
+                 ) -> AndroidRuntime:
+    """Create and preload the zygote; returns the runtime handle."""
+    catalog = catalog or AndroidCatalog()
+    layout = LibraryLayout(kernel, mode)
+    zygote = kernel.create_process("zygote")
+    kernel.exec_zygote(zygote)
+    runtime = AndroidRuntime(
+        kernel=kernel, catalog=catalog, layout=layout, zygote=zygote,
+        calibration=calibration or DEFAULT_CALIBRATION,
+    )
+    rng = DeterministicRng(seed, "zygote")
+
+    _map_address_space(runtime)
+    _preload_touch(runtime, rng)
+    _tally(runtime)
+
+    # Build the hot ranking from *blocks* of (mostly) consecutive pages
+    # rather than single pages: real hot spots are functions spanning a
+    # few contiguous pages, and this spatial clustering is what the
+    # Figure 4 sparsity analysis measures at 64KB granularity.
+    blocks: List[List[int]] = []
+    for name in sorted(runtime.touched_code_pages):
+        pages = runtime.touched_code_pages[name]
+        for start in range(0, len(pages), 6):
+            blocks.append(pages[start:start + 6])
+    rng.fork("hot-ranking").shuffle(blocks)
+    runtime.code_hot_ranking = [addr for block in blocks for addr in block]
+    return runtime
+
+
+# ---------------------------------------------------------------------------
+# Address-space construction.
+# ---------------------------------------------------------------------------
+
+def _map_address_space(runtime: AndroidRuntime) -> None:
+    kernel, catalog, layout = runtime.kernel, runtime.catalog, runtime.layout
+    zygote = runtime.zygote
+
+    # The zygote's main binary, at the traditional executable base.
+    runtime.mapped["app_process"] = layout.map_library(
+        zygote, catalog.app_process, addr=APP_PROCESS_BASE
+    )
+    # 88 preloaded dynamic shared libraries, packed in mmap order.
+    # Only these carry the ``zygote_preloaded`` VMA flag: Table 4's
+    # copy-PTE fork variant copies DSO code PTEs (5,900 of them).
+    for lib in catalog.preloaded_dsos:
+        runtime.mapped[lib.name] = layout.map_library(
+            zygote, lib, zygote_preloaded=True
+        )
+    # ART boot images and framework resources.
+    for lib in [catalog.boot_oat, catalog.boot_art, *catalog.resources]:
+        runtime.mapped[lib.name] = layout.map_library(zygote, lib)
+
+    # Anonymous regions: Java heap, native heap, miscellaneous.
+    runtime.java_heap = _map_anon(kernel, zygote, JAVA_HEAP_BASE,
+                                  JAVA_HEAP_SPAN)
+    runtime.native_heap = _map_anon(kernel, zygote, NATIVE_HEAP_BASE,
+                                    NATIVE_HEAP_SPAN)
+    runtime.misc_anon = _map_anon(kernel, zygote, MISC_ANON_BASE,
+                                  MISC_ANON_SPAN)
+    runtime.stack = kernel.syscalls.mmap(
+        zygote, STACK_PAGES * PAGE_SIZE, Prot.READ | Prot.WRITE,
+        MapFlags.PRIVATE | MapFlags.ANONYMOUS | MapFlags.GROWSDOWN,
+        addr=STACK_TOP - STACK_PAGES * PAGE_SIZE,
+    )
+
+
+def _map_anon(kernel: Kernel, task: Task, base: int, span: int) -> Vma:
+    return kernel.syscalls.mmap(
+        task, span, Prot.READ | Prot.WRITE,
+        MapFlags.PRIVATE | MapFlags.ANONYMOUS, addr=base,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Preload touching.
+# ---------------------------------------------------------------------------
+
+def _preload_touch(runtime: AndroidRuntime, rng: DeterministicRng) -> None:
+    events: List[AccessEvent] = []
+
+    cal = runtime.calibration
+    events.extend(_touch_dso_code(runtime, rng.fork("dso-code")))
+    events.extend(_touch_code_pages(
+        runtime, "boot.oat", cal.oat_code_ptes, rng.fork("oat")
+    ))
+    events.extend(_touch_code_pages(
+        runtime, "app_process",
+        runtime.catalog.app_process.code_pages, rng.fork("binary"),
+    ))
+    events.extend(_touch_file_data(runtime, rng.fork("data")))
+    events.extend(_touch_anon_region(runtime.java_heap, cal.java_heap_ptes,
+                                     rng.fork("java-heap")))
+    events.extend(_touch_anon_region(runtime.native_heap,
+                                     cal.native_heap_ptes,
+                                     rng.fork("native-heap")))
+    events.extend(_touch_anon_region(runtime.misc_anon, cal.misc_anon_ptes,
+                                     rng.fork("misc-anon")))
+    # Stack: the top pages, written.
+    stack = runtime.stack
+    events.extend(
+        store(stack.end - (index + 1) * PAGE_SIZE)
+        for index in range(cal.stack_ptes)
+    )
+
+    runtime.kernel.run(runtime.zygote, events)
+
+
+def _touch_dso_code(runtime: AndroidRuntime,
+                    rng: DeterministicRng) -> List[AccessEvent]:
+    """Touch DSO code pages, hitting the global target exactly."""
+    catalog = runtime.catalog
+    total_code = catalog.dso_code_pages
+    events: List[AccessEvent] = []
+    remaining_target = runtime.calibration.dso_code_ptes
+    remaining_code = total_code
+    for lib in catalog.preloaded_dsos:
+        if remaining_code <= 0 or remaining_target <= 0:
+            break
+        share = round(remaining_target * lib.code_pages / remaining_code)
+        share = max(0, min(share, lib.code_pages, remaining_target))
+        remaining_code -= lib.code_pages
+        remaining_target -= share
+        if share == 0:
+            continue
+        pages = _pick_pages(runtime, lib.name, share, rng)
+        events.extend(ifetch(addr, count=40) for addr in pages)
+    return events
+
+
+def _touch_code_pages(runtime: AndroidRuntime, name: str, target: int,
+                      rng: DeterministicRng) -> List[AccessEvent]:
+    pages = _pick_pages(runtime, name, target, rng)
+    return [ifetch(addr, count=40) for addr in pages]
+
+
+def _pick_pages(runtime: AndroidRuntime, name: str, count: int,
+                rng: DeterministicRng) -> List[int]:
+    """Choose (and record) ``count`` code pages of one library."""
+    mapped = runtime.mapped[name]
+    vma = mapped.code_vma
+    indexes = sorted(rng.sample(range(vma.num_pages),
+                                min(count, vma.num_pages)))
+    pages = [vma.start + index * PAGE_SIZE for index in indexes]
+    runtime.touched_code_pages[name] = pages
+    return pages
+
+
+def _touch_file_data(runtime: AndroidRuntime,
+                     rng: DeterministicRng) -> List[AccessEvent]:
+    """Read (never write) resource files, the ART image, and DSO data."""
+    events: List[AccessEvent] = []
+    catalog = runtime.catalog
+
+    def read_pages(vma: Vma, count: int, label: str) -> None:
+        indexes = rng.fork(label).sample(
+            range(vma.num_pages), min(count, vma.num_pages)
+        )
+        pages = [vma.start + i * PAGE_SIZE for i in sorted(indexes)]
+        runtime.touched_data_pages.setdefault(label, []).extend(pages)
+        events.extend(load(addr) for addr in pages)
+
+    cal = runtime.calibration
+    read_pages(runtime.mapped["boot.art"].data_vma, cal.art_data_ptes,
+               "boot.art")
+    for resource in catalog.resources:
+        vma = runtime.mapped[resource.name].data_vma
+        read_pages(vma, int(vma.num_pages * cal.resource_touch_fraction),
+                   resource.name)
+    # A sprinkle of DSO data reads (GOT/vtables), spread over the
+    # biggest libraries; reads do not COW, so these PTEs stay clean.
+    data_rng = rng.fork("dso-data")
+    big_dsos = sorted(catalog.preloaded_dsos,
+                      key=lambda lib: lib.data_pages, reverse=True)[:30]
+    remaining = cal.dso_data_read_ptes
+    for lib in big_dsos:
+        if remaining <= 0:
+            break
+        vma = runtime.mapped[lib.name].data_vma
+        if vma is None:
+            continue
+        count = min(remaining, max(1, vma.num_pages // 2))
+        read_pages(vma, count, f"data-{lib.name}")
+        remaining -= count
+    return events
+
+
+def _touch_anon_region(vma: Vma, total: int,
+                       rng: DeterministicRng) -> List[AccessEvent]:
+    """Write ``total`` pages, spread evenly over the region's 2MB slots."""
+    first_slot = ptp_index(vma.start)
+    last_slot = ptp_index(vma.end - 1)
+    slots = list(range(first_slot, last_slot + 1))
+    per_slot, extra = divmod(total, len(slots))
+    events: List[AccessEvent] = []
+    for position, slot in enumerate(slots):
+        quota = per_slot + (1 if position < extra else 0)
+        slot_base = max(vma.start, slot * PTP_SPAN)
+        slot_end = min(vma.end, (slot + 1) * PTP_SPAN)
+        slot_pages = (slot_end - slot_base) // PAGE_SIZE
+        indexes = rng.sample(range(slot_pages), min(quota, slot_pages))
+        events.extend(
+            store(slot_base + index * PAGE_SIZE) for index in sorted(indexes)
+        )
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Verification tally.
+# ---------------------------------------------------------------------------
+
+def _tally(runtime: AndroidRuntime) -> None:
+    """Count populated PTEs by category from the live page tables."""
+    report = runtime.report
+    zygote = runtime.zygote
+    tables = zygote.mm.tables
+    for slot_index, slot in tables.populated_slots():
+        report.populated_slots += 1
+        slot_has_anon = False
+        base = tables.slot_base_va(slot_index)
+        for index, _pte in slot.ptp.iter_valid():
+            vaddr = base + index * PAGE_SIZE
+            vma = zygote.mm.find_vma(vaddr)
+            if vma is None:
+                continue
+            if not vma.is_file_backed:
+                report.anon_ptes += 1
+                slot_has_anon = True
+                if vma.is_stack:
+                    report.stack_ptes += 1
+                continue
+            tag = vma.tag
+            if tag is not None and tag.is_instruction_segment:
+                if tag.category is CodeCategory.ZYGOTE_DSO:
+                    report.dso_code_ptes += 1
+                elif tag.category is CodeCategory.ZYGOTE_JAVA:
+                    report.java_code_ptes += 1
+                elif tag.category is CodeCategory.ZYGOTE_BINARY:
+                    report.binary_code_ptes += 1
+            else:
+                report.file_data_ptes += 1
+        if slot_has_anon:
+            report.anon_slots += 1

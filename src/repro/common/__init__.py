@@ -1,0 +1,60 @@
+"""Shared building blocks: constants, flags, errors, RNG, and statistics.
+
+Everything in this package is dependency-free and safe to import from any
+other subsystem.  The address-space constants mirror the 32-bit ARM /
+Linux configuration used by the paper's Nexus 7 evaluation platform.
+"""
+
+from repro.common.constants import (
+    KERNEL_SPACE_START,
+    L1_ENTRIES,
+    L2_ENTRIES,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PTES_PER_PTP,
+    PTP_SHIFT,
+    PTP_SPAN,
+    SECTION_SIZE,
+    USER_SPACE_END,
+    page_align_down,
+    page_align_up,
+    page_number,
+    ptp_index,
+)
+from repro.common.errors import (
+    AddressError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.perms import MapFlags, Prot
+from repro.common.rng import DeterministicRng
+from repro.common.stats import BoxplotSummary, Cdf, boxplot, mean
+
+__all__ = [
+    "AddressError",
+    "BoxplotSummary",
+    "Cdf",
+    "ConfigError",
+    "DeterministicRng",
+    "KERNEL_SPACE_START",
+    "L1_ENTRIES",
+    "L2_ENTRIES",
+    "MapFlags",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PTES_PER_PTP",
+    "PTP_SHIFT",
+    "PTP_SPAN",
+    "Prot",
+    "ReproError",
+    "SECTION_SIZE",
+    "SimulationError",
+    "USER_SPACE_END",
+    "boxplot",
+    "mean",
+    "page_align_down",
+    "page_align_up",
+    "page_number",
+    "ptp_index",
+]

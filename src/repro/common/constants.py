@@ -1,0 +1,131 @@
+"""Address-space layout constants for the simulated 32-bit ARM platform.
+
+The layout mirrors Linux on ARMv7 with the conventional 3GB/1GB split:
+
+* user space occupies ``[0, 0xC0000000)``;
+* kernel space occupies ``[0xC0000000, 0x100000000)``.
+
+The ARM two-level page table has 4096 level-1 entries (1MB each) and 256
+level-2 entries (4KB each).  Linux manages level-1 entries and level-2
+tables *in pairs*: one 4KB physical page holds two 256-entry hardware
+tables plus two shadow ("Linux") tables, covering 2MB of virtual address
+space (paper, Figure 5).  That 2MB unit — a *page table page* (PTP) — is
+the granularity at which the paper shares translation structures, so this
+model exposes it directly: :data:`PTP_SPAN` is 2MB and a PTP holds
+:data:`PTES_PER_PTP` = 512 page table entries.
+"""
+
+# ---------------------------------------------------------------------------
+# Base page geometry.
+# ---------------------------------------------------------------------------
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4KB base pages.
+PAGE_MASK = PAGE_SIZE - 1
+
+#: ARM "large page": sixteen consecutive, aligned level-2 entries.
+LARGE_PAGE_SHIFT = 16
+LARGE_PAGE_SIZE = 1 << LARGE_PAGE_SHIFT  # 64KB
+PAGES_PER_LARGE_PAGE = LARGE_PAGE_SIZE // PAGE_SIZE  # 16
+
+#: ARM "section": one level-1 entry maps 1MB directly (no level-2 table).
+SECTION_SHIFT = 20
+SECTION_SIZE = 1 << SECTION_SHIFT  # 1MB
+
+#: ARM "supersection": sixteen consecutive, aligned level-1 entries.
+SUPERSECTION_SHIFT = 24
+SUPERSECTION_SIZE = 1 << SUPERSECTION_SHIFT  # 16MB
+
+# ---------------------------------------------------------------------------
+# Page-table geometry.
+# ---------------------------------------------------------------------------
+
+#: Hardware level-1 table entries (1MB each -> 4GB).
+L1_ENTRIES = 4096
+#: Hardware level-2 table entries (4KB each -> 1MB).
+L2_ENTRIES = 256
+
+#: Linux/ARM page-table-page span: two paired level-1 entries = 2MB.
+PTP_SHIFT = 21
+PTP_SPAN = 1 << PTP_SHIFT  # 2MB
+#: PTEs held by one PTP (two 256-entry hardware tables).
+PTES_PER_PTP = PTP_SPAN // PAGE_SIZE  # 512
+#: Number of PTP slots needed to cover the 4GB address space.
+PTP_SLOTS = (1 << 32) // PTP_SPAN  # 2048
+
+# ---------------------------------------------------------------------------
+# Virtual address-space split.
+# ---------------------------------------------------------------------------
+
+ADDRESS_SPACE_SIZE = 1 << 32
+KERNEL_SPACE_START = 0xC0000000
+USER_SPACE_END = KERNEL_SPACE_START
+
+# ---------------------------------------------------------------------------
+# Hardware sizing defaults (Nexus 7 2012: Tegra 3, 4x Cortex-A9).
+# ---------------------------------------------------------------------------
+
+DEFAULT_NUM_CORES = 4
+#: Unified main TLB: 128 entries, modelled 2-way set-associative.
+MAIN_TLB_ENTRIES = 128
+MAIN_TLB_WAYS = 2
+#: Micro TLBs (I/D), flushed on every context switch on Cortex-A9.
+MICRO_TLB_ENTRIES = 32
+#: L1 instruction/data caches: 32KB, 4-way, 32-byte lines.
+L1_CACHE_SIZE = 32 * 1024
+L1_CACHE_WAYS = 4
+#: Shared L2 cache: 1MB, 8-way.
+L2_CACHE_SIZE = 1024 * 1024
+L2_CACHE_WAYS = 8
+CACHE_LINE_SIZE = 32
+CACHE_LINE_SHIFT = 5
+
+#: Number of ARM protection domains and the IDs Linux/Android use.
+NUM_DOMAINS = 16
+DOMAIN_KERNEL = 0
+DOMAIN_USER = 1
+#: The paper's new domain for zygote-preloaded shared code.
+DOMAIN_ZYGOTE = 2
+
+#: Number of hardware ASIDs (ARMv7 context ID register, 8 bits).
+NUM_ASIDS = 256
+
+
+def page_align_down(addr: int) -> int:
+    """Round ``addr`` down to a 4KB page boundary."""
+    return addr & ~PAGE_MASK
+
+
+def page_align_up(addr: int) -> int:
+    """Round ``addr`` up to a 4KB page boundary."""
+    return (addr + PAGE_MASK) & ~PAGE_MASK
+
+
+def page_number(addr: int) -> int:
+    """Virtual (or physical) page number of ``addr``."""
+    return addr >> PAGE_SHIFT
+
+
+def ptp_index(addr: int) -> int:
+    """Index of the 2MB page-table page covering ``addr``."""
+    return addr >> PTP_SHIFT
+
+
+def ptp_base(addr: int) -> int:
+    """Base virtual address of the 2MB PTP range containing ``addr``."""
+    return addr & ~(PTP_SPAN - 1)
+
+
+def pte_index(addr: int) -> int:
+    """Index of ``addr``'s PTE within its 2MB page-table page."""
+    return (addr >> PAGE_SHIFT) & (PTES_PER_PTP - 1)
+
+
+def align_up(addr: int, alignment: int) -> int:
+    """Round ``addr`` up to a multiple of ``alignment`` (a power of two)."""
+    return (addr + alignment - 1) & ~(alignment - 1)
+
+
+def is_user_address(addr: int) -> bool:
+    """True when ``addr`` falls inside the user portion of the split."""
+    return 0 <= addr < USER_SPACE_END

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the simulator.
+
+All errors raised by the library derive from :class:`ReproError`, so
+callers can catch a single type.  Hardware *faults* (page faults, domain
+faults) are not exceptions — they are modelled as values returned by the
+MMU (:mod:`repro.hw.mmu`) because faults are part of normal operation.
+Exceptions here indicate *misuse* of the simulator or internal
+inconsistencies.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class AddressError(ReproError):
+    """A virtual or physical address was malformed or out of range."""
+
+
+class OutOfMemoryError(ReproError):
+    """The simulated physical memory pool is exhausted."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent internal state.
+
+    Raised by invariant checks; seeing one of these is always a bug in
+    the simulator (or a corrupted scenario), never a modelled fault.
+    """
+
+
+class VmaError(ReproError):
+    """An mmap/munmap/mprotect request was invalid (simulated EINVAL)."""

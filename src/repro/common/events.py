@@ -1,0 +1,55 @@
+"""Access events: the unit of work fed to the execution engine.
+
+Traces are *page bursts*: one event says "execute ``count`` instructions
+fetched from this page, touching ``lines`` distinct cache lines" (or the
+load/store analogue).  This keeps simulation cost proportional to the
+page-level locality structure — which is what drives TLB, page-table,
+and fault behaviour — rather than to raw instruction counts.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class AccessType(enum.Enum):
+    """The three access kinds the MMU distinguishes."""
+
+    IFETCH = "ifetch"
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass
+class AccessEvent:
+    """One page-granularity access burst."""
+
+    access: AccessType
+    vaddr: int
+    #: Instructions executed (IFETCH) or accesses performed (LOAD/STORE)
+    #: in this burst; all hit the same 4KB page.
+    count: int = 1
+    #: Distinct cache lines touched within the page during the burst.
+    lines: int = 8
+    #: Kernel-mode execution (syscall/IO service time): counted in the
+    #: kernel-instruction bucket (the paper's Table 1 split).
+    kernel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("burst count must be >= 1")
+        self.lines = max(1, min(self.lines, 128))
+
+
+def ifetch(vaddr: int, count: int = 64, lines: int = 8) -> AccessEvent:
+    """An instruction-fetch burst."""
+    return AccessEvent(AccessType.IFETCH, vaddr, count, lines)
+
+
+def load(vaddr: int, count: int = 1, lines: int = 2) -> AccessEvent:
+    """A data-read burst."""
+    return AccessEvent(AccessType.LOAD, vaddr, count, lines)
+
+
+def store(vaddr: int, count: int = 1, lines: int = 2) -> AccessEvent:
+    """A data-write burst."""
+    return AccessEvent(AccessType.STORE, vaddr, count, lines)

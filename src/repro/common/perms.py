@@ -1,0 +1,58 @@
+"""Protection and mapping flags, mirroring the POSIX/Linux constants."""
+
+import enum
+
+
+class Prot(enum.IntFlag):
+    """Memory protection bits (``PROT_*``)."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    EXEC = 4
+
+    @property
+    def readable(self) -> bool:
+        """True when PROT_READ is set."""
+        return bool(self & Prot.READ)
+
+    @property
+    def writable(self) -> bool:
+        """True when PROT_WRITE is set."""
+        return bool(self & Prot.WRITE)
+
+    @property
+    def executable(self) -> bool:
+        """True when PROT_EXEC is set."""
+        return bool(self & Prot.EXEC)
+
+
+#: Conventional shorthands used throughout the Android layer.
+PROT_RX = Prot.READ | Prot.EXEC
+PROT_RW = Prot.READ | Prot.WRITE
+PROT_R = Prot.READ
+
+
+class MapFlags(enum.IntFlag):
+    """Mapping flags (``MAP_*``)."""
+
+    PRIVATE = 1
+    SHARED = 2
+    ANONYMOUS = 4
+    FIXED = 8
+    GROWSDOWN = 16  # Stack regions.
+
+    @property
+    def is_private(self) -> bool:
+        """True for MAP_PRIVATE mappings."""
+        return bool(self & MapFlags.PRIVATE)
+
+    @property
+    def is_shared(self) -> bool:
+        """True for MAP_SHARED mappings."""
+        return bool(self & MapFlags.SHARED)
+
+    @property
+    def is_anonymous(self) -> bool:
+        """True for MAP_ANONYMOUS mappings."""
+        return bool(self & MapFlags.ANONYMOUS)

@@ -1,0 +1,17 @@
+"""The paper's primary contribution: shared address translation.
+
+* :mod:`repro.core.ptshare` — copy-on-write sharing of level-2 page
+  table pages across address spaces (NEED_COPY protocol, sharer counts,
+  the five unshare triggers of Section 3.1.2).
+* :mod:`repro.core.tlbshare` — shared TLB entries for zygote-preloaded
+  code via the global bit, confined with ARM's domain protection model
+  (Section 3.2).
+
+Both are invoked by the kernel layer (:mod:`repro.kernel`), mirroring
+how the paper's patch hooks the machine-independent Linux VM code.
+"""
+
+from repro.core.ptshare import PageTableManager, ShareForkOutcome
+from repro.core.tlbshare import TlbSharePolicy
+
+__all__ = ["PageTableManager", "ShareForkOutcome", "TlbSharePolicy"]

@@ -1,0 +1,290 @@
+"""Copy-on-write sharing of page-table pages (the paper's Section 3.1).
+
+The protocol, at the granularity of one 2MB level-2 page-table page
+(PTP):
+
+**Sharing (at fork).**  For each populated level-1 slot of the parent
+whose memory regions are all shareable, the child's level-1 slot is
+pointed at the parent's PTP instead of copying or lazily refilling PTEs:
+
+* if the slot's ``NEED_COPY`` bit is clear, every writable PTE in the
+  PTP is first write-protected (ARM has no level-1 write-protect bit, so
+  COW protection must be enforced at level 2 — Section 3.1.3 "Hardware
+  Support"), the bit is set in the parent, and the parent's stale TLB
+  entries are flushed;
+* if ``NEED_COPY`` is already set the PTP is already shared and
+  write-protected: only a reference is taken.
+
+The PTP's sharer count is the ``mapcount`` of its backing frame, exactly
+as the paper reuses the page structure's mapcount.
+
+**Shareability.**  Unlike prior work (which required one sharable or
+read-only region spanning the whole PTP), any mix of regions is
+shareable — including private *writable* regions, shared aggressively on
+the bet that many are never written (Section 3.1.3).  Only stack regions
+are excluded by design choice (they are written immediately after fork).
+
+**Unsharing.**  Performed on the five triggers of Section 3.1.2 (write
+fault, region modification via syscall, new region in range, region
+free, PTP free at exit), following Figure 6: if the sharer count is one,
+just clear ``NEED_COPY``; otherwise clear the level-1 entry, flush the
+process's TLB entries, allocate a fresh PTP, copy the valid PTEs (all of
+them, or only referenced ones under the Section 3.1.3 ablation), and
+decrement the sharer count.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.constants import DOMAIN_USER
+from repro.common.cost import CostModel
+from repro.common.errors import SimulationError
+from repro.hw.memory import FrameKind, PhysicalMemory
+from repro.hw.pagetable import PageTablePage
+from repro.kernel.counters import CounterScope
+from repro.kernel.mm import MmStruct
+from repro.kernel.task import Task
+from repro.kernel.vma import Vma
+
+
+@dataclass
+class ShareForkOutcome:
+    """What the share-at-fork pass did (feeds Table 4's columns)."""
+
+    slots_shared: int = 0
+    slots_first_shared: int = 0
+    ptes_write_protected: int = 0
+    #: Slots that could not be shared and fall back to stock handling.
+    fallback_slots: List[int] = field(default_factory=list)
+    cycles: float = 0.0
+
+
+class PageTableManager:
+    """Owns PTP allocation, reference management, and the share protocol.
+
+    One instance per kernel.  TLB invalidation is delegated to the
+    ``tlb_flush`` callable (the kernel wires it to the platform) so this
+    module stays free of hardware-scheduling concerns.
+    """
+
+    def __init__(self, memory: PhysicalMemory, cost: CostModel,
+                 config, tlb_flush_task, tlb_flush_all) -> None:
+        self._memory = memory
+        self._cost = cost
+        self._config = config
+        #: ``tlb_flush_task(task)`` drops one task's TLB entries.
+        self._tlb_flush_task = tlb_flush_task
+        #: ``tlb_flush_all()`` is the heavy hammer for cross-space changes.
+        self._tlb_flush_all = tlb_flush_all
+
+    # ------------------------------------------------------------------
+    # Allocation / release.
+    # ------------------------------------------------------------------
+
+    def alloc_ptp(self, mm: MmStruct, slot_index: int,
+                  counters: CounterScope, domain: int = DOMAIN_USER,
+                  charge=None) -> PageTablePage:
+        """Allocate a private PTP and install it in ``mm``'s slot."""
+        frame = self._memory.allocate(FrameKind.PTP)
+        ptp = PageTablePage(
+            frame=frame, base_va=mm.tables.slot_base_va(slot_index)
+        )
+        mm.tables.install(slot_index, ptp, need_copy=False, domain=domain)
+        counters.bump("ptps_allocated")
+        if charge is not None:
+            charge(self._cost.ptp_alloc)
+        return ptp
+
+    def release_slot(self, task: Task, slot_index: int,
+                     counters: CounterScope, free_frames) -> None:
+        """Tear down one level-1 slot at exit (Section 3.1.2, case 5).
+
+        If the PTP is shared by others, only the reference is dropped —
+        reclamation is skipped.  Otherwise the PTEs are cleared (via the
+        ``free_frames`` callback, which manages data-frame refcounts) and
+        the PTP frame is freed.
+        """
+        slot = task.mm.tables.slot(slot_index)
+        if slot is None or slot.ptp is None:
+            raise SimulationError(f"release of empty slot {slot_index}")
+        ptp = slot.ptp
+        if slot.need_copy and ptp.sharer_count > 1:
+            task.mm.tables.detach(slot_index)
+            counters.record_unshare("exit")
+            return
+        # Sole owner: reclaim fully.
+        free_frames(ptp)
+        task.mm.tables.detach(slot_index)
+        if ptp.frame.mapcount != 0:
+            raise SimulationError(
+                f"PTP frame {ptp.frame.pfn} still referenced at free"
+            )
+        self._memory.free(ptp.frame)
+        counters.bump("ptps_freed")
+
+    # ------------------------------------------------------------------
+    # Shareability.
+    # ------------------------------------------------------------------
+
+    def slot_is_shareable(self, mm: MmStruct, slot_index: int) -> bool:
+        """May this slot's PTP be shared with a fork child?
+
+        The paper's policy: share aggressively — shared regions, private
+        read-only regions, and private *writable* regions are all fine
+        (COW protection handles the latter).  Stacks are excluded by
+        design choice, since they are modified immediately after fork.
+        """
+        vmas = mm.vmas_in_slot(slot_index)
+        if not vmas:
+            # A populated PTP with no regions left can appear briefly
+            # during teardown; never share it.
+            return False
+        return all(self._vma_is_shareable(vma) for vma in vmas)
+
+    @staticmethod
+    def _vma_is_shareable(vma: Vma) -> bool:
+        return not vma.is_stack
+
+    # ------------------------------------------------------------------
+    # Sharing at fork.
+    # ------------------------------------------------------------------
+
+    def share_at_fork(self, parent: Task, child: Task,
+                      counters: CounterScope) -> ShareForkOutcome:
+        """Run the share pass over every populated parent slot.
+
+        Returns the outcome, including the slots that must fall back to
+        stock fork handling (the child's stack, typically).
+        """
+        outcome = ShareForkOutcome()
+        parent_wp_done = False
+        for slot_index, slot in list(parent.mm.tables.populated_slots()):
+            if not self.slot_is_shareable(parent.mm, slot_index):
+                outcome.fallback_slots.append(slot_index)
+                continue
+            ptp = slot.ptp
+            if not slot.need_copy:
+                # First share: enforce COW by write-protecting every
+                # writable PTE (unless modelling an x86-style level-1
+                # write-protect bit, which makes the pass unnecessary).
+                if not self._config.x86_style_l1_write_protect:
+                    protected = ptp.write_protect_all()
+                    outcome.ptes_write_protected += protected
+                    counters.bump("ptes_write_protected", protected)
+                    outcome.cycles += protected * self._cost.pte_write_protect
+                    if protected:
+                        parent_wp_done = True
+                else:
+                    ptp.write_protected = True
+                # Age the referenced bits: after the share, "young"
+                # means referenced since fork (Section 3.1.3's
+                # referenced-only copy alternative relies on this).
+                ptp.age_references()
+                slot.need_copy = True
+                outcome.slots_first_shared += 1
+            child.mm.tables.install(
+                slot_index, ptp, need_copy=True, domain=slot.domain
+            )
+            counters.bump("ptp_share_events")
+            outcome.slots_shared += 1
+            outcome.cycles += self._cost.ptp_share_ref
+        if parent_wp_done:
+            # The parent may hold writable TLB entries for PTEs that
+            # were just write-protected.
+            self._tlb_flush_task(parent)
+            counters.bump("tlb_shootdowns")
+            outcome.cycles += self._cost.tlb_flush_cost
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Unsharing.
+    # ------------------------------------------------------------------
+
+    def unshare_slot(self, task: Task, slot_index: int, trigger: str,
+                     counters: CounterScope, copy_frame_refs,
+                     charge=None) -> Optional[PageTablePage]:
+        """Make ``task``'s slot private (Figure 6).  Returns the new PTP
+        (or the retained one when the task was the last sharer).
+
+        ``copy_frame_refs(new_ptp)`` is the kernel callback that takes
+        data-frame references for the copied PTEs.
+        """
+        slot = task.mm.tables.slot(slot_index)
+        if slot is None or slot.ptp is None or not slot.need_copy:
+            raise SimulationError(
+                f"unshare of non-shared slot {slot_index} (pid {task.pid})"
+            )
+        counters.record_unshare(trigger)
+        if charge is not None:
+            charge(self._cost.unshare_base)
+        shared_ptp = slot.ptp
+        if shared_ptp.sharer_count == 1:
+            # Last sharer: the PTP becomes private by clearing NEED_COPY.
+            slot.need_copy = False
+            return shared_ptp
+
+        # 1. Clear the level-1 entry and flush this process's TLB entries.
+        domain = slot.domain
+        task.mm.tables.detach(slot_index)
+        self._tlb_flush_task(task)
+        counters.bump("tlb_shootdowns")
+
+        # 2. Allocate a new, empty PTP and insert it.
+        new_ptp = self.alloc_ptp(
+            task.mm, slot_index, counters, domain=domain, charge=charge
+        )
+
+        # 3. Copy the valid PTEs (all, or only referenced under the
+        #    Section 3.1.3 ablation).
+        copied = shared_ptp.copy_entries_to(
+            new_ptp,
+            only_referenced=self._config.unshare_copy_referenced_only,
+        )
+        copy_frame_refs(new_ptp)
+        counters.bump("ptes_copied_unshare", copied)
+        if charge is not None:
+            charge(copied * self._cost.pte_copy)
+
+        # 4. The sharer count was decremented by the detach above.
+        return new_ptp
+
+    def ensure_range_private(self, task: Task, start: int, end: int,
+                             trigger: str, counters: CounterScope,
+                             copy_frame_refs, charge=None) -> int:
+        """Unshare every shared PTP overlapping ``[start, end)``.
+
+        Used by the syscall paths (mmap/munmap/mprotect), where the range
+        may span multiple PTPs (Section 3.1.2, case 2).  Returns the
+        number of slots unshared.
+        """
+        first = task.mm.tables.slot_index(start)
+        last = task.mm.tables.slot_index(max(start, end - 1))
+        unshared = 0
+        for slot_index in range(first, last + 1):
+            slot = task.mm.tables.slot(slot_index)
+            if slot is not None and slot.ptp is not None and slot.need_copy:
+                self.unshare_slot(
+                    task, slot_index, trigger, counters,
+                    copy_frame_refs=copy_frame_refs, charge=charge,
+                )
+                unshared += 1
+        return unshared
+
+    # ------------------------------------------------------------------
+    # Introspection (the paper's "shared PTPs" counter).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def shared_slot_count(mm: MmStruct) -> int:
+        """Slots of ``mm`` currently marked NEED_COPY."""
+        return sum(
+            1 for _, slot in mm.tables.populated_slots() if slot.need_copy
+        )
+
+    @staticmethod
+    def shared_slot_indexes(mm: MmStruct) -> List[int]:
+        """Slot indexes currently marked NEED_COPY."""
+        return [
+            index for index, slot in mm.tables.populated_slots()
+            if slot.need_copy
+        ]

@@ -1,0 +1,119 @@
+"""Shared TLB entries for zygote-preloaded code (the paper's Section 3.2).
+
+Mechanism:
+
+* When the *zygote* (identified by a task flag set at exec) mmaps the
+  code segment of a shared library, the kernel marks the region with a
+  new ``global`` VMA flag.  Every zygote child inherits these regions.
+* When a fault populates a PTE inside a global region, the PTE gets the
+  hardware *global* bit, so the TLB entry it produces matches under any
+  ASID — one entry serves all zygote-like processes, whose translations
+  for this code are identical by construction of the fork-without-exec
+  process model.
+* Global entries must not be usable by *non-zygote* processes (system
+  daemons etc.), whose translations may differ.  All user-space level-1
+  entries of zygote-like processes are placed in a dedicated *zygote
+  domain*; zygote-like tasks get client access to it in their DACR,
+  non-zygote tasks get none.  A non-zygote access that matches a global
+  entry therefore takes a *domain fault*; the handler flushes the
+  matching TLB entries on the faulting core and the retried access walks
+  the process's own tables (Section 3.2.3).
+* On architectures without domains (``domain_support=False``), the
+  fallback is to flush global entries when switching from a zygote-like
+  to a non-zygote process; optionally, the scheduler groups processes to
+  minimise such transitions.
+"""
+
+from typing import Optional
+
+from repro.common.constants import DOMAIN_USER, DOMAIN_ZYGOTE
+from repro.hw.domain import Dacr, stock_dacr, zygote_dacr
+from repro.kernel.task import Task
+from repro.kernel.vma import Vma
+
+
+class TlbSharePolicy:
+    """Decides global-bit placement, domains, and DACR values."""
+
+    def __init__(self, config) -> None:
+        self._config = config
+
+    @property
+    def enabled(self) -> bool:
+        """True when the kernel configuration shares TLB entries."""
+        return self._config.share_tlb
+
+    # -- mmap-time marking (Section 3.2.2) ---------------------------------
+
+    def should_mark_global(self, task: Task, vma: Vma) -> bool:
+        """Mark the VMA global when the zygote maps shared-library code."""
+        if not self.enabled:
+            return False
+        return (
+            task.is_zygote
+            and vma.is_file_backed
+            and vma.prot.executable
+        )
+
+    # -- PTE creation -----------------------------------------------------------
+
+    def pte_global_bit(self, task: Task, vma: Vma) -> bool:
+        """Should a PTE populated in ``vma`` carry the global bit?
+
+        The region must have been marked global by the zygote and the
+        faulting process must be zygote-like (a non-zygote process that
+        somehow mapped the same file keeps private, ASID-tagged entries).
+        """
+        if not self.enabled:
+            return False
+        return vma.global_ and task.is_zygote_like
+
+    # -- domains / DACR ----------------------------------------------------------
+
+    def user_domain_for(self, task: Task) -> int:
+        """Domain ID for the task's user-space level-1 entries.
+
+        Zygote-like processes place *all* their user-space level-1
+        entries in the zygote domain (Section 3.2.3); everyone else uses
+        the ordinary user domain.
+        """
+        if self.enabled and self._config.domain_support and (
+            task.is_zygote_like
+        ):
+            return DOMAIN_ZYGOTE
+        return DOMAIN_USER
+
+    def dacr_for(self, task: Task) -> Dacr:
+        """The DACR value a task of this kind runs with."""
+        if self.enabled and self._config.domain_support and (
+            task.is_zygote_like
+        ):
+            return zygote_dacr()
+        return stock_dacr()
+
+    # -- context-switch fallback (no domain support) ---------------------------
+
+    def must_flush_globals_on_switch(
+        self, prev: Optional[Task], next_task: Task
+    ) -> bool:
+        """Without domains, a switch from a zygote-like process to a
+        non-zygote process must flush the shared global entries."""
+        if not self.enabled or self._config.domain_support:
+            return False
+        if prev is None:
+            return False
+        return prev.is_zygote_like and not next_task.is_zygote_like
+
+    # -- fork/exec hooks ---------------------------------------------------------
+
+    def on_exec(self, task: Task, is_zygote_binary: bool) -> None:
+        """Exec sets the zygote flag when the zygote binary is loaded."""
+        task.is_zygote = is_zygote_binary
+        task.is_zygote_child = False
+        task.dacr = self.dacr_for(task)
+
+    def on_fork(self, parent: Task, child: Task) -> None:
+        """Fork propagates zygote-child status and assigns the DACR."""
+        child.is_zygote = False
+        child.is_zygote_child = parent.is_zygote_like
+        child.dacr = self.dacr_for(child)

@@ -1,0 +1,20 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+Every driver returns a structured result object with a ``render()``
+method that prints the same rows/series the paper reports.  The
+``satr`` command-line tool (see :mod:`repro.experiments.runner`) runs
+them individually or all together.
+
+| Paper artefact | Driver |
+|---|---|
+| Table 1, Figures 2-4, Table 2 | :mod:`repro.experiments.motivation` |
+| Tables 3 and 4 (zygote fork)  | :mod:`repro.experiments.fork` |
+| Figures 7-9 (app launch)      | :mod:`repro.experiments.launch` |
+| Figures 10-12 (steady state)  | :mod:`repro.experiments.steady` |
+| Figure 13 (binder IPC)        | :mod:`repro.experiments.ipc` |
+| Design-choice ablations (3.1.3/3.2.3) | :mod:`repro.experiments.ablations` |
+"""
+
+from repro.experiments.common import Scale, build_runtime
+
+__all__ = ["Scale", "build_runtime"]

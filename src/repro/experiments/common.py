@@ -1,0 +1,104 @@
+"""Shared experiment plumbing: scales, kernel construction, formatting."""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.kernel.config import (
+    KernelConfig,
+    copy_pte_config,
+    shared_ptp_config,
+    shared_ptp_tlb_config,
+    stock_config,
+)
+from repro.kernel.kernel import Kernel
+from repro.android.layout import LayoutMode
+from repro.android.zygote import AndroidRuntime, boot_android
+
+#: The kernel configurations the paper evaluates, by short name.
+CONFIG_FACTORIES = {
+    "stock": stock_config,
+    "copy-pte": copy_pte_config,
+    "shared-ptp": shared_ptp_config,
+    "shared-ptp-tlb": shared_ptp_tlb_config,
+}
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing: paper-scale runs are minutes, quick is seconds."""
+
+    name: str
+    #: Helloworld launch repetitions per configuration (paper: 100).
+    launch_rounds: int = 30
+    #: Fork repetitions for the minimum-of-N measurement (paper: 40).
+    fork_rounds: int = 10
+    #: Warm rounds per app in the steady-state sweep (paper: ~10).
+    steady_rounds: int = 2
+    #: Binder invocations measured (paper: 100,000 on hardware).
+    ipc_invocations: int = 300
+    #: Apps included in the per-app sweeps (None = all eleven).
+    apps: Optional[Sequence[str]] = None
+    revisit_passes: int = 1
+    base_burst: int = 2000
+
+
+QUICK = Scale(name="quick", launch_rounds=4, fork_rounds=4,
+              steady_rounds=1, ipc_invocations=60,
+              apps=("Angrybirds", "Google Calendar", "WPS"))
+DEFAULT = Scale(name="default")
+PAPER = Scale(name="paper", launch_rounds=100, fork_rounds=40,
+              steady_rounds=4, ipc_invocations=1000)
+
+SCALES: Dict[str, Scale] = {s.name: s for s in (QUICK, DEFAULT, PAPER)}
+
+
+def build_runtime(
+    config_name: str,
+    mode: LayoutMode = LayoutMode.ORIGINAL,
+    asid_enabled: bool = True,
+    seed: int = 7,
+) -> AndroidRuntime:
+    """A booted Android runtime under one kernel configuration."""
+    try:
+        config: KernelConfig = CONFIG_FACTORIES[config_name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown config {config_name!r}; known: "
+            f"{sorted(CONFIG_FACTORIES)}"
+        ) from None
+    config = config.with_(asid_enabled=asid_enabled)
+    kernel = Kernel(config=config)
+    return boot_android(kernel, mode=mode, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Plain-text rendering.
+# ---------------------------------------------------------------------------
+
+def format_table(headers: List[str], rows: List[List[str]],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.1f}%"
+
+
+def ratio_vs(value: float, baseline: float) -> str:
+    """Format a value as a percentage of a baseline."""
+    if baseline == 0:
+        return "n/a"
+    return f"{100.0 * value / baseline:.1f}%"

@@ -1,0 +1,112 @@
+"""Binder IPC: Figure 13 (Section 4.2.4).
+
+Six bars per process: {ASID disabled, ASID enabled} x {stock,
+shared-PTP, shared-PTP&TLB}, each normalised to the stock kernel with
+ASIDs disabled.  The headline shapes to reproduce: sharing TLB entries
+helps both sides (client more than server, since a larger fraction of
+its footprint is shared code); ASIDs alone help substantially (server
+more, its entries survive quanta); and TLB sharing adds further benefit
+on top of ASIDs.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.android.binder import BinderBenchmark, BinderConfig, BinderResult
+from repro.experiments.common import (
+    DEFAULT,
+    Scale,
+    build_runtime,
+    format_table,
+)
+
+IPC_KERNELS = ["stock", "shared-ptp", "shared-ptp-tlb"]
+
+
+@dataclass
+class IpcResult:
+    #: (asid_enabled, kernel) -> measurement.
+    """All six Figure 13 configurations' measurements."""
+    results: Dict[Tuple[bool, str], BinderResult]
+    #: Domain faults taken by the non-zygote noise daemon per config.
+    noise_domain_faults: Dict[Tuple[bool, str], int]
+
+    def get(self, asid: bool, kernel: str) -> BinderResult:
+        """Look up one configuration's measurement."""
+        return self.results[(asid, kernel)]
+
+    @property
+    def baseline(self) -> BinderResult:
+        """Stock kernel, ASIDs disabled (the figure's 100% reference)."""
+        return self.results[(False, "stock")]
+
+    def normalized(self, asid: bool, kernel: str) -> Tuple[float, float]:
+        """(client, server) instruction main-TLB stalls vs baseline."""
+        result = self.get(asid, kernel)
+        return (
+            result.client.itlb_stall / max(1.0, self.baseline.client.itlb_stall),
+            result.server.itlb_stall / max(1.0, self.baseline.server.itlb_stall),
+        )
+
+    @property
+    def tlb_share_gain_no_asid(self) -> Tuple[float, float]:
+        """Improvement of shared-PTP&TLB over stock, ASIDs disabled
+        (paper: client 36%, server 19%)."""
+        client, server = self.normalized(False, "shared-ptp-tlb")
+        return 1.0 - client, 1.0 - server
+
+    @property
+    def asid_gain(self) -> Tuple[float, float]:
+        """Improvement of ASIDs alone on the stock kernel
+        (paper: client 34%, server 86%)."""
+        client, server = self.normalized(True, "stock")
+        return 1.0 - client, 1.0 - server
+
+    def render(self) -> str:
+        """Plain-text rendering: the rows/series the paper reports."""
+        rows = []
+        for asid in (False, True):
+            for kernel in IPC_KERNELS:
+                client, server = self.normalized(asid, kernel)
+                rows.append([
+                    "ASID" if asid else "Disabled ASID",
+                    kernel,
+                    f"{100 * client:.1f}%",
+                    f"{100 * server:.1f}%",
+                    str(self.noise_domain_faults[(asid, kernel)]),
+                ])
+        gain_c, gain_s = self.tlb_share_gain_no_asid
+        asid_c, asid_s = self.asid_gain
+        title = (
+            "Figure 13: instruction main-TLB stall cycles, normalised to "
+            "stock/ASID-disabled\n"
+            f"TLB sharing (no ASID): client -{100 * gain_c:.0f}% / server "
+            f"-{100 * gain_s:.0f}% (paper 36%/19%); ASIDs alone: client "
+            f"-{100 * asid_c:.0f}% / server -{100 * asid_s:.0f}% "
+            f"(paper 34%/86%)"
+        )
+        return format_table(
+            ["ASID mode", "Kernel", "Client iTLB", "Server iTLB",
+             "Daemon domain faults"],
+            rows, title=title,
+        )
+
+
+def run_ipc_experiment(scale: Scale = DEFAULT,
+                       config: Optional[BinderConfig] = None) -> IpcResult:
+    """The six-configuration binder sweep."""
+    results: Dict[Tuple[bool, str], BinderResult] = {}
+    noise: Dict[Tuple[bool, str], int] = {}
+    for asid in (False, True):
+        for kernel_name in IPC_KERNELS:
+            runtime = build_runtime(kernel_name, asid_enabled=asid)
+            bench_config = config or BinderConfig(
+                invocations=scale.ipc_invocations
+            )
+            bench = BinderBenchmark(runtime, config=bench_config)
+            results[(asid, kernel_name)] = bench.run()
+            noise[(asid, kernel_name)] = bench.noise.counters.domain_faults
+    return IpcResult(results=results, noise_domain_faults=noise)
+
+
+figure13 = run_ipc_experiment

@@ -1,0 +1,186 @@
+"""Application launch performance: Figures 7, 8 and 9 (Section 4.2.2).
+
+Four kernels are compared on repeated Helloworld launches: the stock
+kernel and the shared-PTP&TLB kernel, each with the original and the
+2MB-aligned library layout.  One sweep produces all three figures:
+
+* Figure 7 — box-and-whisker of execution time (cycles),
+* Figure 8 — box-and-whisker of L1 instruction-cache stall cycles,
+* Figure 9 — PTPs allocated and file-backed page faults, normalised to
+  the stock kernel with the original alignment.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.rng import DeterministicRng
+from repro.common.stats import BoxplotSummary, boxplot, mean
+from repro.android.layout import LayoutMode
+from repro.experiments.common import (
+    DEFAULT,
+    Scale,
+    build_runtime,
+    format_table,
+)
+from repro.workloads.profiles import HELLOWORLD
+from repro.workloads.session import LaunchMeasurement, launch_app
+
+#: The four configurations of Figures 7-9, in presentation order.
+LAUNCH_CONFIGS = [
+    ("Stock Android", "stock", LayoutMode.ORIGINAL),
+    ("Shared PTP & TLB", "shared-ptp-tlb", LayoutMode.ORIGINAL),
+    ("Stock Android-2MB", "stock", LayoutMode.ALIGNED_2MB),
+    ("Shared PTP & TLB-2MB", "shared-ptp-tlb", LayoutMode.ALIGNED_2MB),
+]
+
+LAUNCH_BURST = 5000
+
+
+@dataclass
+class LaunchSeries:
+    """All rounds of one configuration."""
+
+    label: str
+    measurements: List[LaunchMeasurement] = field(default_factory=list)
+
+    @property
+    def cycles_box(self) -> BoxplotSummary:
+        """Five-number summary of execution cycles."""
+        return boxplot(m.cycles for m in self.measurements)
+
+    @property
+    def l1i_box(self) -> BoxplotSummary:
+        """Five-number summary of L1-I stall cycles."""
+        return boxplot(m.l1i_stall for m in self.measurements)
+
+    @property
+    def mean_file_faults(self) -> float:
+        """Mean file-backed page faults per round."""
+        return mean(m.file_backed_faults for m in self.measurements)
+
+    @property
+    def mean_ptps(self) -> float:
+        """Mean PTPs allocated per round."""
+        return mean(m.ptps_allocated for m in self.measurements)
+
+    @property
+    def median_cycles(self) -> float:
+        """Median execution cycles across rounds."""
+        return self.cycles_box.median
+
+
+@dataclass
+class LaunchResult:
+    """All four launch configurations' series."""
+    series: Dict[str, LaunchSeries]
+
+    def get(self, label: str) -> LaunchSeries:
+        """Look up one configuration's measurement."""
+        return self.series[label]
+
+    @property
+    def baseline(self) -> LaunchSeries:
+        """The stock/original-layout series (the 100% reference)."""
+        return self.series[LAUNCH_CONFIGS[0][0]]
+
+    def speedup(self, label: str) -> float:
+        """Median execution-time improvement vs. stock/original."""
+        return 1.0 - self.get(label).median_cycles / self.baseline.median_cycles
+
+    def render_figure7(self) -> str:
+        """Figure 7's box-and-whisker rows (execution time)."""
+        from repro.experiments.plots import boxplot_panel
+
+        lines = ["Figure 7: application launch execution time (cycles)"]
+        for label, series in self.series.items():
+            lines.append(series.cycles_box.format_row(label, scale=1e6)
+                         + " x10^6")
+        lines.append(boxplot_panel(
+            {label: series.cycles_box
+             for label, series in self.series.items()},
+            scale=1e6, unit="M",
+        ))
+        lines.append(
+            f"Improvement vs stock: "
+            f"{100 * self.speedup('Shared PTP & TLB'):.1f}% original "
+            f"(paper 7%), "
+            f"{100 * (1 - self.get('Shared PTP & TLB-2MB').median_cycles / self.get('Stock Android-2MB').median_cycles):.1f}% 2MB "
+            f"(paper 10%)"
+        )
+        return "\n".join(lines)
+
+    def render_figure8(self) -> str:
+        """Figure 8's box-and-whisker rows (L1-I stalls)."""
+        from repro.experiments.plots import boxplot_panel
+
+        lines = ["Figure 8: launch L1 instruction-cache stall cycles"]
+        for label, series in self.series.items():
+            lines.append(series.l1i_box.format_row(label, scale=1e6)
+                         + " x10^6")
+        lines.append(boxplot_panel(
+            {label: series.l1i_box
+             for label, series in self.series.items()},
+            scale=1e6, unit="M",
+        ))
+        base = self.baseline.l1i_box.median
+        shared = self.get("Shared PTP & TLB").l1i_box.median
+        shared_2mb = self.get("Shared PTP & TLB-2MB").l1i_box.median
+        base_2mb = self.get("Stock Android-2MB").l1i_box.median
+        lines.append(
+            f"I-cache stall reduction: {100 * (1 - shared / base):.1f}% "
+            f"original (paper 15%), "
+            f"{100 * (1 - shared_2mb / base_2mb):.1f}% 2MB (paper 24%)"
+        )
+        return "\n".join(lines)
+
+    def render_figure9(self) -> str:
+        """Figure 9's PTP/fault comparison table."""
+        base = self.baseline
+        rows = []
+        for label, series in self.series.items():
+            rows.append([
+                label,
+                f"{series.mean_ptps:.0f}",
+                f"{100 * series.mean_ptps / base.mean_ptps:.0f}%",
+                f"{series.mean_file_faults:.0f}",
+                f"{100 * series.mean_file_faults / base.mean_file_faults:.0f}%",
+            ])
+        return format_table(
+            ["Kernel", "PTPs", "PTPs vs stock", "File faults",
+             "Faults vs stock"],
+            rows,
+            title=("Figure 9: launch PTP allocations and file-backed page "
+                   "faults (paper: stock 72 PTPs / 1,900 faults; shared "
+                   "23 / 110; shared-2MB 28 / 93)"),
+        )
+
+    def render(self) -> str:
+        """Plain-text rendering: the rows/series the paper reports."""
+        return "\n\n".join([
+            self.render_figure7(), self.render_figure8(),
+            self.render_figure9(),
+        ])
+
+
+def run_launch_experiment(scale: Scale = DEFAULT) -> LaunchResult:
+    """Repeated Helloworld launches under the four configurations."""
+    series: Dict[str, LaunchSeries] = {}
+    for label, config_name, mode in LAUNCH_CONFIGS:
+        runtime = build_runtime(config_name, mode=mode)
+        data = LaunchSeries(label=label)
+        rng = DeterministicRng(100, f"launch-{label}")
+        for round_index in range(scale.launch_rounds):
+            session = launch_app(
+                runtime, HELLOWORLD, rng,
+                revisit_passes=scale.revisit_passes,
+                base_burst=LAUNCH_BURST,
+                round_seed=round_index,
+            )
+            data.measurements.append(session.launch)
+            session.finish()
+        series[label] = data
+    return LaunchResult(series=series)
+
+
+#: Figures 7-9 come from one sweep; aliases for the runner.
+figure7 = figure8 = figure9 = run_launch_experiment

@@ -1,0 +1,117 @@
+"""The ``satr`` command line: regenerate any table or figure.
+
+Usage::
+
+    satr table4                # one artefact
+    satr launch                # one experiment group (figures 7-9)
+    satr all --scale quick     # everything, reduced sizing
+"""
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import ablations, fork, ipc, launch, motivation, steady
+from repro.experiments.common import SCALES, Scale
+
+
+def _motivation_all(scale: Scale) -> str:
+    from repro.experiments.common import build_runtime
+
+    runtime = build_runtime("shared-ptp")
+    parts = [
+        motivation.table1(scale, runtime=runtime).render(),
+        motivation.figure2(scale, runtime=runtime).render(),
+        motivation.figure3(scale, runtime=runtime).render(),
+        motivation.table2(scale, runtime=runtime).render(),
+        motivation.figure4(scale, runtime=runtime).render(),
+    ]
+    return "\n\n".join(parts)
+
+
+def _ablations_all(scale: Scale) -> str:
+    parts = [
+        ablations.unshare_copy_ablation(scale).render(),
+        ablations.l1_write_protect_ablation(scale).render(),
+        ablations.domainless_ablation(scale).render(),
+        ablations.large_page_ablation().render(),
+        ablations.cache_pollution_experiment().render(),
+        ablations.scalability_sweep().render(),
+    ]
+    return "\n\n".join(parts)
+
+
+#: target name -> callable(scale) -> printable report.
+TARGETS: Dict[str, Callable[[Scale], str]] = {
+    "table1": lambda s: motivation.table1(s).render(),
+    "figure2": lambda s: motivation.figure2(s).render(),
+    "figure3": lambda s: motivation.figure3(s).render(),
+    "table2": lambda s: motivation.table2(s).render(),
+    "figure4": lambda s: motivation.figure4(s).render(),
+    "motivation": _motivation_all,
+    "table3": lambda s: fork.table3(s).render(),
+    "table4": lambda s: fork.table4(s).render(),
+    "fork": lambda s: "\n\n".join([fork.table4(s).render(),
+                                   fork.table3(s).render()]),
+    "figure7": lambda s: launch.run_launch_experiment(s).render_figure7(),
+    "figure8": lambda s: launch.run_launch_experiment(s).render_figure8(),
+    "figure9": lambda s: launch.run_launch_experiment(s).render_figure9(),
+    "launch": lambda s: launch.run_launch_experiment(s).render(),
+    "figure10": lambda s: steady.run_steady_experiment(s).render_figure10(),
+    "figure11": lambda s: steady.run_steady_experiment(s).render_figure11(),
+    "figure12": lambda s: steady.run_steady_experiment(s).render_figure12(),
+    "steady": lambda s: steady.run_steady_experiment(s).render(),
+    "figure13": lambda s: ipc.run_ipc_experiment(s).render(),
+    "ipc": lambda s: ipc.run_ipc_experiment(s).render(),
+    "ablations": _ablations_all,
+}
+
+#: Groups executed by ``satr all`` (each covers several artefacts).
+ALL_GROUPS = ["motivation", "fork", "launch", "steady", "ipc", "ablations"]
+
+
+def run_target(target: str, scale: Scale) -> str:
+    """Run one named experiment target and return its report."""
+    try:
+        driver = TARGETS[target]
+    except KeyError:
+        raise SystemExit(
+            f"unknown target {target!r}; choose from "
+            f"{', '.join(sorted(TARGETS) + ['all'])}"
+        )
+    return driver(scale)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="satr",
+        description=("Shared Address Translation Revisited (EuroSys'16) — "
+                     "regenerate the paper's tables and figures from the "
+                     "simulation."),
+    )
+    parser.add_argument(
+        "target",
+        help=f"one of: all, {', '.join(sorted(TARGETS))}",
+    )
+    parser.add_argument(
+        "--scale", default="default", choices=sorted(SCALES),
+        help="experiment sizing (quick ~seconds, paper ~many minutes)",
+    )
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+
+    targets = ALL_GROUPS if args.target == "all" else [args.target]
+    for target in targets:
+        started = time.time()
+        report = run_target(target, scale)
+        elapsed = time.time() - started
+        print(f"=== {target} (scale={scale.name}, {elapsed:.1f}s) ===")
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

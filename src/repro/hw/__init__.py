@@ -1,0 +1,44 @@
+"""Functional hardware models: physical memory, ARM two-level page
+tables, TLBs (micro + unified main TLB with ASID/global/domain match),
+set-associative caches, the domain access control register, and the MMU
+translation pipeline that ties them together.
+
+These models are *functional with cycle accounting*: they maintain the
+same architectural state a Cortex-A9 would (tags, ASIDs, domains, PTE
+bits) and charge calibrated cycle costs from
+:class:`repro.common.cost.CostModel`, but they do not model pipelines or
+timing beyond stall-cycle accumulation.
+"""
+
+from repro.hw.cache import Cache, CacheHierarchy
+from repro.hw.cpu import Core, CycleStats
+from repro.hw.domain import Dacr, DomainAccess
+from repro.hw.memory import Frame, FrameKind, PhysicalMemory
+from repro.hw.mmu import AccessType, FaultKind, Mmu, MmuResult
+from repro.hw.pagetable import AddressSpaceTables, PageTablePage, Pte
+from repro.hw.platform import HardwareConfig, Platform
+from repro.hw.tlb import MainTlb, MicroTlb, TlbEntry
+
+__all__ = [
+    "AccessType",
+    "AddressSpaceTables",
+    "Cache",
+    "CacheHierarchy",
+    "Core",
+    "CycleStats",
+    "Dacr",
+    "DomainAccess",
+    "FaultKind",
+    "Frame",
+    "FrameKind",
+    "HardwareConfig",
+    "MainTlb",
+    "MicroTlb",
+    "Mmu",
+    "MmuResult",
+    "PageTablePage",
+    "PhysicalMemory",
+    "Platform",
+    "Pte",
+    "TlbEntry",
+]

@@ -1,0 +1,207 @@
+"""Set-associative cache models and the per-core hierarchy.
+
+The Nexus 7's Cortex-A9 cores each have private 32KB L1 instruction and
+data caches and share a 1MB L2.  Two properties matter for the paper:
+
+* hardware page-table walks allocate the PTE's cache line into the L2
+  *and* the L1 data cache on ARMv7 (paper, Section 2.1 / Figure 1), so
+  private page tables duplicate PTE lines across processes and pollute
+  the shared L2, while shared PTPs collapse them onto one line;
+* page-fault handling executes kernel instructions through the same L1
+  instruction cache as the application, so eliminating soft faults also
+  removes kernel I-cache pollution — the paper's launch-time L1-I stall
+  reduction (Section 4.2.2).
+
+All caches here are physically tagged (the L1-I on the A9 is virtually
+indexed but physically tagged; with 4KB pages and 32KB/4-way geometry
+the index bits come entirely from the page offset, so indexing by the
+physical address is exact).
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.constants import (
+    CACHE_LINE_SHIFT,
+    L1_CACHE_SIZE,
+    L1_CACHE_WAYS,
+    L2_CACHE_SIZE,
+    L2_CACHE_WAYS,
+)
+from repro.common.cost import CostModel
+from repro.common.errors import ConfigError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total probes (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses over total accesses (0.0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative, physically tagged cache with LRU replacement."""
+
+    def __init__(self, name: str, size: int, ways: int,
+                 line_shift: int = CACHE_LINE_SHIFT) -> None:
+        line_size = 1 << line_shift
+        if size % (ways * line_size) != 0:
+            raise ConfigError(f"{name}: size/ways/line geometry mismatch")
+        self.name = name
+        self.line_shift = line_shift
+        self.num_sets = size // (ways * line_size)
+        self.ways = ways
+        # Per-set list of line tags (full line addresses), MRU first.
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def line_of(self, paddr: int) -> int:
+        """Cache-line number of a physical address."""
+        return paddr >> self.line_shift
+
+    def access(self, paddr: int) -> bool:
+        """Probe-and-fill: returns True on hit, fills on miss."""
+        line = self.line_of(paddr)
+        cache_set = self._sets[line % self.num_sets]
+        if line in cache_set:
+            cache_set.remove(line)
+            cache_set.insert(0, line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.ways:
+            cache_set.pop()
+            self.stats.evictions += 1
+        cache_set.insert(0, line)
+        return False
+
+    def contains(self, paddr: int) -> bool:
+        """Probe without updating LRU or statistics."""
+        line = self.line_of(paddr)
+        return line in self._sets[line % self.num_sets]
+
+    def occupancy(self) -> int:
+        """Number of entries/lines currently held."""
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> None:
+        """Drop every entry."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+
+def make_l1_icache() -> Cache:
+    """A Cortex-A9-shaped 32KB 4-way instruction cache."""
+    return Cache("L1-I", L1_CACHE_SIZE, L1_CACHE_WAYS)
+
+
+def make_l1_dcache() -> Cache:
+    """A Cortex-A9-shaped 32KB 4-way data cache."""
+    return Cache("L1-D", L1_CACHE_SIZE, L1_CACHE_WAYS)
+
+
+def make_l2_cache() -> Cache:
+    """The shared 1MB 8-way L2 cache."""
+    return Cache("L2", L2_CACHE_SIZE, L2_CACHE_WAYS)
+
+
+class CacheHierarchy:
+    """One core's view: private L1-I/L1-D in front of the shared L2.
+
+    Each access method returns the stall cycles it incurred, so callers
+    can attribute them to the right accounting bucket (instruction-fetch
+    stalls vs. data stalls vs. table-walk stalls).
+    """
+
+    def __init__(self, l1i: Cache, l1d: Cache, shared_l2: Cache,
+                 cost: CostModel) -> None:
+        self.l1i = l1i
+        self.l1d = l1d
+        self.l2 = shared_l2
+        self.cost = cost
+
+    def _through(self, l1: Cache, paddr: int) -> int:
+        if l1.access(paddr):
+            return 0
+        if self.l2.access(paddr):
+            return self.cost.l2_hit_stall
+        return self.cost.memory_stall
+
+    def fetch(self, paddr: int) -> int:
+        """Instruction fetch; returns stall cycles."""
+        return self._through(self.l1i, paddr)
+
+    def load_store(self, paddr: int) -> int:
+        """Data access; returns stall cycles."""
+        return self._through(self.l1d, paddr)
+
+    def walk_read(self, paddr: int) -> int:
+        """A table-walk read of a PTE word.
+
+        On ARMv7 the walker allocates into both the L2 and the L1 data
+        cache (paper, Section 2.1), so this is simply a data access —
+        which is exactly the pollution effect the paper describes.
+        """
+        return self._through(self.l1d, paddr)
+
+    def fetch_run(self, paddr: int, nlines: int) -> int:
+        """Fetch ``nlines`` consecutive cache lines starting at ``paddr``.
+
+        Semantically identical to ``nlines`` calls to :meth:`fetch`;
+        implemented as one tight loop because instruction streams (and
+        the kernel fault path in particular) fetch long consecutive
+        runs and this is the simulator's hottest path.
+        """
+        return self._run(self.l1i, paddr, nlines)
+
+    def data_run(self, paddr: int, nlines: int) -> int:
+        """Like :meth:`fetch_run` for the data side."""
+        return self._run(self.l1d, paddr, nlines)
+
+    def _run(self, l1: Cache, paddr: int, nlines: int) -> int:
+        l1_sets, l1_nsets, l1_ways = l1._sets, l1.num_sets, l1.ways
+        l2 = self.l2
+        l2_sets, l2_nsets, l2_ways = l2._sets, l2.num_sets, l2.ways
+        l1_stats, l2_stats = l1.stats, l2.stats
+        l2_hit_stall = self.cost.l2_hit_stall
+        memory_stall = self.cost.memory_stall
+        stall = 0
+        line = paddr >> l1.line_shift
+        for current in range(line, line + nlines):
+            cache_set = l1_sets[current % l1_nsets]
+            if current in cache_set:
+                cache_set.remove(current)
+                cache_set.insert(0, current)
+                l1_stats.hits += 1
+                continue
+            l1_stats.misses += 1
+            if len(cache_set) >= l1_ways:
+                cache_set.pop()
+                l1_stats.evictions += 1
+            cache_set.insert(0, current)
+            l2_set = l2_sets[current % l2_nsets]
+            if current in l2_set:
+                l2_set.remove(current)
+                l2_set.insert(0, current)
+                l2_stats.hits += 1
+                stall += l2_hit_stall
+                continue
+            l2_stats.misses += 1
+            if len(l2_set) >= l2_ways:
+                l2_set.pop()
+                l2_stats.evictions += 1
+            l2_set.insert(0, current)
+            stall += memory_stall
+        return stall

@@ -1,0 +1,98 @@
+"""The 32-bit ARM domain protection model.
+
+A *domain* is a collection of memory regions; each level-1 PTE carries a
+4-bit domain ID inherited by its level-2 entries and by the TLB entries
+they produce.  The Domain Access Control Register (DACR) holds a 2-bit
+access field for each of the 16 domains:
+
+* ``NO_ACCESS`` — any access faults (a *domain fault*, distinguishable
+  from a permission fault via the fault status register);
+* ``CLIENT`` — accesses are checked against the PTE's permission bits;
+* ``MANAGER`` — accesses bypass the permission bits entirely.
+
+The paper uses this machinery to confine global (ASID-ignoring) TLB
+entries for zygote-preloaded shared code to zygote-like processes: those
+entries live in a dedicated *zygote domain* to which only zygote-like
+processes hold client access (Section 3.2.3).
+"""
+
+import enum
+from typing import Dict, Iterable
+
+from repro.common.constants import (
+    DOMAIN_KERNEL,
+    DOMAIN_USER,
+    DOMAIN_ZYGOTE,
+    NUM_DOMAINS,
+)
+from repro.common.errors import ConfigError
+
+
+class DomainAccess(enum.IntEnum):
+    """DACR access field values (the 2-bit hardware encoding)."""
+
+    NO_ACCESS = 0
+    CLIENT = 1
+    MANAGER = 3
+
+
+class Dacr:
+    """A Domain Access Control Register value.
+
+    Instances are immutable in practice: each task control block holds
+    one, and a context switch loads it into the (simulated) CPU.
+    """
+
+    def __init__(self, fields: Dict[int, DomainAccess]) -> None:
+        for domain in fields:
+            if not 0 <= domain < NUM_DOMAINS:
+                raise ConfigError(f"domain id {domain} out of range")
+        self._fields = dict(fields)
+
+    def access(self, domain: int) -> DomainAccess:
+        """The 2-bit access field for one domain."""
+        if not 0 <= domain < NUM_DOMAINS:
+            raise ConfigError(f"domain id {domain} out of range")
+        return self._fields.get(domain, DomainAccess.NO_ACCESS)
+
+    def grants(self, domain: int) -> bool:
+        """True when the domain is accessible at all (client or manager)."""
+        return self.access(domain) != DomainAccess.NO_ACCESS
+
+    def with_access(self, domain: int, access: DomainAccess) -> "Dacr":
+        """A copy with one domain's access field replaced."""
+        fields = dict(self._fields)
+        fields[domain] = access
+        return Dacr(fields)
+
+    def domains_with_access(self) -> Iterable[int]:
+        """Domain IDs granted client or manager access."""
+        return sorted(d for d, a in self._fields.items()
+                      if a != DomainAccess.NO_ACCESS)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dacr):
+            return NotImplemented
+        return all(
+            self.access(d) == other.access(d) for d in range(NUM_DOMAINS)
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{d}:{self.access(d).name}" for d in self.domains_with_access()
+        )
+        return f"Dacr({parts})"
+
+
+def stock_dacr() -> Dacr:
+    """The stock Android kernel's DACR: user + kernel domains only."""
+    return Dacr({
+        DOMAIN_KERNEL: DomainAccess.CLIENT,
+        DOMAIN_USER: DomainAccess.CLIENT,
+    })
+
+
+def zygote_dacr() -> Dacr:
+    """DACR for zygote-like processes: also client access to the zygote
+    domain, unlocking the shared global TLB entries."""
+    return stock_dacr().with_access(DOMAIN_ZYGOTE, DomainAccess.CLIENT)

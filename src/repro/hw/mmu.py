@@ -1,0 +1,231 @@
+"""The MMU translation pipeline.
+
+Every memory access flows through :meth:`Mmu.translate`:
+
+1. probe the relevant micro-TLB (instruction or data side);
+2. on a micro miss, probe the unified main TLB;
+3. on a main-TLB miss, perform a hardware two-level table walk — each
+   walk reads the level-1 descriptor and the level-2 PTE *through the
+   cache hierarchy* (the walker allocates PTE lines into L2 and L1-D on
+   ARMv7, which is the cache-pollution effect the paper targets);
+4. check the running task's DACR against the matched entry's domain
+   (no access -> *domain fault*, the hook the paper's shared-TLB design
+   relies on);
+5. for client-access domains, check the permission bits
+   (write to a read-only page -> *permission fault*, which drives COW
+   and PTP unsharing).
+
+Faults are returned as values — they are part of normal operation and
+are resolved by the kernel's fault handlers, after which the access is
+retried.
+
+Kernel-space addresses translate through shared global section mappings
+(1MB granularity, kernel domain), matching how Linux maps the kernel on
+ARM; they occupy main-TLB slots like any other entry.
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.events import AccessType
+from repro.common.constants import (
+    DOMAIN_KERNEL,
+    KERNEL_SPACE_START,
+    PAGE_SHIFT,
+    SECTION_SHIFT,
+    pte_index,
+)
+from repro.common.cost import CostModel
+from repro.hw.domain import Dacr, DomainAccess
+from repro.hw.pagetable import Pte
+from repro.hw.tlb import TlbEntry
+
+#: Synthetic PFN base for kernel text/data; far above any frame the
+#: allocator will hand out, so kernel lines never alias user lines.
+KERNEL_PFN_BASE = 1 << 24
+
+PAGES_PER_SECTION = 1 << (SECTION_SHIFT - PAGE_SHIFT)  # 256
+
+
+class FaultKind(enum.Enum):
+    """Abort causes, as the FSR would report them."""
+
+    TRANSLATION = "translation"  # No valid PTE: page fault.
+    PERMISSION = "permission"  # AP bits deny the access: COW/unshare.
+    DOMAIN = "domain"  # DACR says no access: shared-TLB confinement.
+
+
+@dataclass
+class MmuResult:
+    """Outcome of one translation attempt."""
+
+    vaddr: int
+    access: AccessType
+    fault: Optional[FaultKind] = None
+    entry: Optional[TlbEntry] = None
+    micro_hit: bool = False
+    main_hit: bool = False
+    walked: bool = False
+    #: Stall cycles attributable to translation (micro-miss penalty,
+    #: walk base cost, and the walk's PTE reads through the caches).
+    translation_stall: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the translation completed without a fault."""
+        return self.fault is None
+
+
+class Mmu:
+    """Per-platform MMU logic; per-core state lives in :class:`Core`."""
+
+    def __init__(self, cost: CostModel) -> None:
+        self.cost = cost
+
+    def translate(self, core, task, vaddr: int, access: AccessType) -> MmuResult:
+        """Translate one access for ``task`` running on ``core``.
+
+        ``task`` must expose ``asid``, ``dacr`` and ``mm`` (with ``mm``
+        exposing ``tables`` and ``pgd_entry_paddr``); ``core`` provides
+        the TLBs and cache hierarchy.
+        """
+        if vaddr >= KERNEL_SPACE_START:
+            return self._translate_kernel(core, task, vaddr, access)
+        return self._translate_user(core, task, vaddr, access)
+
+    # -- user space -------------------------------------------------------
+
+    def _translate_user(self, core, task, vaddr: int,
+                        access: AccessType) -> MmuResult:
+        result = MmuResult(vaddr=vaddr, access=access)
+        vpn = vaddr >> PAGE_SHIFT
+        micro = core.micro_itlb if access is AccessType.IFETCH else core.micro_dtlb
+
+        entry = micro.lookup(vpn)
+        if entry is not None:
+            result.micro_hit = True
+        else:
+            result.translation_stall += self.cost.micro_tlb_miss
+            entry = core.main_tlb.lookup(vpn, task.asid)
+            if entry is not None:
+                result.main_hit = True
+                micro.insert(entry, key_vpn=vpn)
+            else:
+                entry, walk_stall = self._walk(core, task, vaddr)
+                result.walked = True
+                result.translation_stall += walk_stall
+                if entry is None:
+                    result.fault = FaultKind.TRANSLATION
+                    return result
+                core.main_tlb.insert(entry)
+                micro.insert(entry, key_vpn=vpn)
+
+        result.entry = entry
+        return self._check_entry(task.dacr, entry, access, result)
+
+    def _walk(self, core, task, vaddr: int):
+        """Hardware table walk; returns ``(entry_or_None, stall_cycles)``."""
+        stall = self.cost.walk_base
+        tables = task.mm.tables
+        slot_index = tables.slot_index(vaddr)
+        # Level-1 descriptor read (from the pgd, through the caches).
+        stall += core.caches.walk_read(task.mm.pgd_entry_paddr(slot_index))
+        slot = tables.slot(slot_index)
+        if slot is None or slot.ptp is None:
+            return None, stall
+        # Level-2 PTE read.  With shared PTPs this physical address is
+        # identical across all sharers; with private tables it is not.
+        index = pte_index(vaddr)
+        stall += core.caches.walk_read(slot.ptp.pte_paddr(index))
+        pte = slot.ptp.get(index)
+        if not Pte.is_valid(pte):
+            return None, stall
+        # The walk sets the referenced bit (Linux/ARM emulates this in
+        # the shadow table; we fold it into the walk).
+        slot.ptp.mark_young(index)
+        vpn = vaddr >> PAGE_SHIFT
+        pfn = Pte.pfn(pte)
+        large = bool(pte & Pte.LARGE)
+        if large:
+            # A 64KB entry is indexed by its base; the sixteen frames
+            # are physically contiguous, so the base PFN is derived
+            # from the accessed page's PFN.
+            pfn -= vpn & 0xF
+            vpn &= ~0xF
+        entry = TlbEntry(
+            vpn=vpn,
+            asid=task.asid,
+            pfn=pfn,
+            writable=Pte.is_writable(pte),
+            global_=Pte.is_global(pte),
+            domain=slot.domain,
+            span_pages=16 if large else 1,
+        )
+        return entry, stall
+
+    @staticmethod
+    def _check_entry(dacr: Dacr, entry: TlbEntry, access: AccessType,
+                     result: MmuResult) -> MmuResult:
+        grant = dacr.access(entry.domain)
+        if grant == DomainAccess.NO_ACCESS:
+            result.fault = FaultKind.DOMAIN
+            return result
+        if grant == DomainAccess.CLIENT:
+            if access is AccessType.STORE and not entry.writable:
+                result.fault = FaultKind.PERMISSION
+                return result
+        return result
+
+    # -- kernel space -------------------------------------------------------
+
+    def _translate_kernel(self, core, task, vaddr: int,
+                          access: AccessType) -> MmuResult:
+        result = MmuResult(vaddr=vaddr, access=access)
+        vpn = vaddr >> PAGE_SHIFT
+        micro = core.micro_itlb if access is AccessType.IFETCH else core.micro_dtlb
+
+        entry = micro.lookup(vpn)
+        if entry is not None:
+            result.micro_hit = True
+        else:
+            result.translation_stall += self.cost.micro_tlb_miss
+            entry = core.main_tlb.lookup(vpn, task.asid)
+            if entry is not None:
+                result.main_hit = True
+            else:
+                # Section walk: a single level-1 read; the descriptor
+                # lives in the shared kernel master table.
+                result.walked = True
+                result.translation_stall += self.cost.walk_base
+                section_base_vpn = (vaddr >> SECTION_SHIFT) << (
+                    SECTION_SHIFT - PAGE_SHIFT
+                )
+                entry = TlbEntry(
+                    vpn=section_base_vpn,
+                    asid=task.asid,
+                    pfn=KERNEL_PFN_BASE + section_base_vpn,
+                    writable=True,
+                    global_=True,
+                    domain=DOMAIN_KERNEL,
+                    span_pages=PAGES_PER_SECTION,
+                )
+                core.main_tlb.insert(entry)
+            micro.insert(entry, key_vpn=vpn)
+
+        result.entry = entry
+        # Kernel accesses run in a client-access kernel domain for every
+        # task; no user-reachable fault cases here.
+        return result
+
+    @staticmethod
+    def kernel_paddr(vaddr: int) -> int:
+        """Physical address of a kernel-space virtual address.
+
+        Consistent with the PFNs placed in kernel section TLB entries:
+        ``pfn = KERNEL_PFN_BASE + vpn``.
+        """
+        page_offset = vaddr & ((1 << PAGE_SHIFT) - 1)
+        return (
+            (KERNEL_PFN_BASE + (vaddr >> PAGE_SHIFT)) << PAGE_SHIFT
+        ) + page_offset

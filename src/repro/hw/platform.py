@@ -1,0 +1,73 @@
+"""The hardware platform: cores, shared L2, physical memory, MMU.
+
+Defaults model the paper's evaluation device — a Nexus 7 (2012) with a
+quad-core Cortex-A9 Tegra 3: per-core micro I/D TLBs and a unified
+128-entry main TLB, private 32KB L1 I/D caches, and a shared 1MB L2.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.constants import (
+    DEFAULT_NUM_CORES,
+    MAIN_TLB_ENTRIES,
+    MAIN_TLB_WAYS,
+    MICRO_TLB_ENTRIES,
+)
+from repro.common.cost import CostModel
+from repro.common.errors import ConfigError
+from repro.hw.cache import make_l2_cache
+from repro.hw.cpu import make_cores
+from repro.hw.memory import PhysicalMemory
+from repro.hw.mmu import Mmu
+
+
+@dataclass
+class HardwareConfig:
+    """Sizing knobs for the simulated platform."""
+
+    num_cores: int = DEFAULT_NUM_CORES
+    main_tlb_entries: int = MAIN_TLB_ENTRIES
+    main_tlb_ways: int = MAIN_TLB_WAYS
+    micro_tlb_entries: int = MICRO_TLB_ENTRIES
+    total_frames: int = 1 << 20
+
+    def validate(self) -> None:
+        """Raise ConfigError on an invalid configuration."""
+        if self.num_cores < 1:
+            raise ConfigError("need at least one core")
+        if self.main_tlb_entries % self.main_tlb_ways:
+            raise ConfigError("main TLB entries must divide into ways")
+
+
+class Platform:
+    """A fully assembled machine, ready for a kernel to manage."""
+
+    def __init__(self, config: HardwareConfig = None,
+                 cost: CostModel = None) -> None:
+        self.config = config or HardwareConfig()
+        self.config.validate()
+        self.cost = cost or CostModel()
+        self.memory = PhysicalMemory(self.config.total_frames)
+        self.shared_l2 = make_l2_cache()
+        self.cores = make_cores(
+            self.config.num_cores,
+            self.shared_l2,
+            self.cost,
+            self.config.main_tlb_entries,
+            self.config.main_tlb_ways,
+            self.config.micro_tlb_entries,
+        )
+        self.mmu = Mmu(self.cost)
+
+    def core(self, core_id: int):
+        """One core by ID."""
+        return self.cores[core_id]
+
+    def flush_all_tlbs(self) -> None:
+        """TLB shootdown across every core (kernel PTE changes)."""
+        for core in self.cores:
+            core.flush_all_tlbs()
+
+    def flush_tlb_va_all_cores(self, vpn: int) -> int:
+        """Flush a virtual page's entries on every core."""
+        return sum(core.flush_tlb_va(vpn) for core in self.cores)

@@ -1,0 +1,32 @@
+"""A Linux-like virtual-memory subsystem managing the simulated hardware.
+
+This package implements the machine-independent kernel pieces the
+paper's patch lives in: address spaces (``mm_struct``/``vm_area_struct``),
+a page cache, demand paging with COW, three fork policies (stock,
+copy-PTE, shared-PTP), the mmap/munmap/mprotect syscalls with their
+unshare hooks, a scheduler with per-policy context-switch TLB behaviour,
+and the software counters the paper's evaluation reads.
+
+The paper's actual contribution — the shared-PTP protocol and the shared
+TLB-entry policy — lives in :mod:`repro.core` and is invoked from here.
+"""
+
+from repro.kernel.config import ForkPolicy, KernelConfig
+from repro.kernel.counters import Counters
+from repro.kernel.kernel import Kernel
+from repro.kernel.mm import MmStruct
+from repro.kernel.pagecache import FileObject, PageCache
+from repro.kernel.task import Task
+from repro.kernel.vma import Vma
+
+__all__ = [
+    "Counters",
+    "FileObject",
+    "ForkPolicy",
+    "Kernel",
+    "KernelConfig",
+    "MmStruct",
+    "PageCache",
+    "Task",
+    "Vma",
+]

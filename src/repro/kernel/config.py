@@ -1,0 +1,100 @@
+"""Kernel policy configuration.
+
+Each experiment instantiates a kernel with one of the paper's
+configurations:
+
+* **stock** — the unmodified Android kernel: fork copies anonymous PTEs,
+  skips file-backed ones (soft faults refill them), private page tables,
+  no TLB sharing.
+* **copied PTEs** — Table 4's second comparison point: like stock, but
+  the PTEs of zygote-preloaded shared code are also copied at fork.
+* **shared PTP** — the paper's contribution: level-2 PTPs are shared
+  COW at fork (NEED_COPY protocol).
+* **shared PTP & TLB** — additionally sets the global bit on
+  zygote-preloaded shared-code PTEs and confines them with the zygote
+  domain.
+"""
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigError
+
+
+class ForkPolicy(enum.Enum):
+    """How fork treats the parent's page tables."""
+
+    STOCK = "stock"
+    COPY_PTE = "copy-pte"
+    SHARED_PTP = "shared-ptp"
+
+
+@dataclass
+class KernelConfig:
+    """Policy knobs for one simulated kernel build."""
+
+    fork_policy: ForkPolicy = ForkPolicy.STOCK
+    #: Set the global bit on zygote-preloaded shared-code PTEs and
+    #: confine them via the zygote domain (Section 3.2).
+    share_tlb: bool = False
+    #: Tag TLB entries with ASIDs; when False, a context switch flushes
+    #: all non-global entries (Figure 13's "Disabled ASID" group).
+    asid_enabled: bool = True
+    #: Ablation (Section 3.1.3): on unshare, copy only PTEs whose
+    #: referenced bit is set rather than all valid PTEs.
+    unshare_copy_referenced_only: bool = False
+    #: Ablation (Section 3.1.3, "Hardware Support"): model an x86-style
+    #: level-1 write-protect bit, removing the fork-time level-2
+    #: write-protect pass.
+    x86_style_l1_write_protect: bool = False
+    #: When False, the architecture lacks ARM's domain model; the
+    #: fallback (Section 3.2.3) flushes global entries when switching
+    #: from a zygote-like to a non-zygote process.
+    domain_support: bool = True
+    #: Fallback-mode scheduler hint: prefer switching within the
+    #: zygote-like / non-zygote group to reduce flushes.
+    group_scheduling: bool = False
+
+    def validate(self) -> None:
+        """Raise ConfigError on an invalid configuration."""
+        if self.share_tlb and self.fork_policy is ForkPolicy.COPY_PTE:
+            raise ConfigError(
+                "TLB sharing presumes the zygote fork model, which the "
+                "copy-PTE comparison point modifies only at fork; use "
+                "stock or shared-ptp as its base"
+            )
+        if self.unshare_copy_referenced_only and (
+            self.fork_policy is not ForkPolicy.SHARED_PTP
+        ):
+            raise ConfigError("referenced-only copy requires shared PTPs")
+
+    @property
+    def shares_ptps(self) -> bool:
+        """True when fork shares page-table pages."""
+        return self.fork_policy is ForkPolicy.SHARED_PTP
+
+    def with_(self, **overrides) -> "KernelConfig":
+        """A modified copy (keyword names match field names)."""
+        return replace(self, **overrides)
+
+
+# -- the four configurations the paper evaluates -----------------------------
+
+def stock_config() -> KernelConfig:
+    """The unmodified Android kernel."""
+    return KernelConfig(fork_policy=ForkPolicy.STOCK)
+
+
+def copy_pte_config() -> KernelConfig:
+    """Stock plus fork-time copying of preloaded-code PTEs."""
+    return KernelConfig(fork_policy=ForkPolicy.COPY_PTE)
+
+
+def shared_ptp_config() -> KernelConfig:
+    """The paper's shared page-table pages."""
+    return KernelConfig(fork_policy=ForkPolicy.SHARED_PTP)
+
+
+def shared_ptp_tlb_config() -> KernelConfig:
+    """Shared PTPs plus shared (global) TLB entries."""
+    return KernelConfig(fork_policy=ForkPolicy.SHARED_PTP, share_tlb=True)

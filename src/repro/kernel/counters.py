@@ -1,0 +1,120 @@
+"""Software counters, mirroring the ones the paper added to the kernel.
+
+Section 4.1.1: "We also add new software counters into the kernel to
+gather statistics for the number of page faults, PTPs allocated, shared
+PTPs, PTPs unshared, and PTEs copied."  Every kernel operation increments
+both the global counter set and the current task's set, so experiments
+can report either view.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Counters:
+    """Event counters for one scope (kernel-global or per-task)."""
+
+    # -- page faults, by cause ------------------------------------------------
+    #: Soft faults: the page was resident (page cache or already-mapped
+    #: frame); only the PTE was missing.
+    soft_faults: int = 0
+    #: Faults that had to fill the page cache ("cold" file reads).
+    cold_file_faults: int = 0
+    #: First-touch anonymous faults (zero-fill).
+    anon_faults: int = 0
+    #: COW breaks (write to a shared-frame private page).
+    cow_faults: int = 0
+    #: Write-permission faults resolved by just setting the write bit.
+    write_enable_faults: int = 0
+    #: Domain faults taken by non-zygote processes on global entries.
+    domain_faults: int = 0
+    #: Faults whose VMA is file-backed — the paper's headline per-app
+    #: metric ("page faults for file-based mappings").
+    file_backed_faults: int = 0
+
+    # -- page tables -------------------------------------------------------------
+    ptps_allocated: int = 0
+    ptps_freed: int = 0
+    #: Share events: a level-1 slot was pointed at another space's PTP.
+    ptp_share_events: int = 0
+    #: Unshare events, by trigger.
+    ptp_unshare_events: int = 0
+    unshare_by_trigger: Dict[str, int] = field(default_factory=dict)
+    #: PTEs copied at fork time.
+    ptes_copied_fork: int = 0
+    #: PTEs copied while unsharing a PTP.
+    ptes_copied_unshare: int = 0
+    #: PTEs write-protected by the first-share pass.
+    ptes_write_protected: int = 0
+
+    # -- processes ----------------------------------------------------------------
+    forks: int = 0
+    context_switches: int = 0
+    tlb_shootdowns: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        """All fault kinds combined."""
+        return (
+            self.soft_faults
+            + self.cold_file_faults
+            + self.anon_faults
+            + self.cow_faults
+            + self.write_enable_faults
+        )
+
+    @property
+    def ptes_copied(self) -> int:
+        """Total PTE copies (fork + unshare), the paper's Fig. 11 metric."""
+        return self.ptes_copied_fork + self.ptes_copied_unshare
+
+    def record_unshare(self, trigger: str) -> None:
+        """Count one unshare event, keyed by its trigger."""
+        self.ptp_unshare_events += 1
+        self.unshare_by_trigger[trigger] = (
+            self.unshare_by_trigger.get(trigger, 0) + 1
+        )
+
+    def snapshot(self) -> "Counters":
+        """An independent copy for windowed measurements."""
+        copy = Counters(**{
+            key: value for key, value in vars(self).items()
+            if key != "unshare_by_trigger"
+        })
+        copy.unshare_by_trigger = dict(self.unshare_by_trigger)
+        return copy
+
+    def delta_since(self, earlier: "Counters") -> "Counters":
+        """Field-wise difference against an earlier snapshot."""
+        delta = Counters(**{
+            key: value - getattr(earlier, key)
+            for key, value in vars(self).items()
+            if key != "unshare_by_trigger"
+        })
+        delta.unshare_by_trigger = {
+            trigger: count - earlier.unshare_by_trigger.get(trigger, 0)
+            for trigger, count in self.unshare_by_trigger.items()
+        }
+        return delta
+
+
+class CounterScope:
+    """Increments a set of counter objects together.
+
+    The kernel builds one of these per operation site: global counters
+    plus the acting task's counters.
+    """
+
+    def __init__(self, *scopes: Counters) -> None:
+        self._scopes = [scope for scope in scopes if scope is not None]
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment one counter in every scope."""
+        for scope in self._scopes:
+            setattr(scope, name, getattr(scope, name) + amount)
+
+    def record_unshare(self, trigger: str) -> None:
+        """Count one unshare event, keyed by its trigger."""
+        for scope in self._scopes:
+            scope.record_unshare(trigger)

@@ -1,0 +1,159 @@
+"""Fork, under the paper's three page-table policies.
+
+* **stock** — the baseline Linux/Android behaviour (Section 4.2.1):
+  PTEs that page faults can refill (file-backed mappings) are skipped;
+  anonymous PTEs (and file pages already COW-ed to anonymous frames)
+  are traversed and copied, with private writable entries
+  write-protected in both parent and child for COW.
+* **copy-pte** — Table 4's comparison point: additionally traverses and
+  copies the PTEs of zygote-preloaded shared code at fork time.
+* **shared-ptp** — the paper's contribution: level-2 PTPs are shared
+  between parent and child via :class:`repro.core.ptshare`, with stock
+  handling only for the slots that cannot be shared (the stack).
+
+The function *performs* each operation against the simulated page
+tables and charges calibrated per-operation costs, so Table 4's columns
+(cycles, PTPs allocated, shared PTPs, PTEs copied) all come out of one
+mechanism rather than a formula.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.common.constants import ptp_index
+from repro.hw.pagetable import Pte
+from repro.kernel.config import ForkPolicy
+from repro.kernel.task import Task
+
+
+@dataclass
+class ForkReport:
+    """Fork-time metrics, matching Table 4's columns."""
+
+    cycles: float = 0.0
+    child_ptps_allocated: int = 0
+    slots_shared: int = 0
+    ptes_copied: int = 0
+    ptes_write_protected: int = 0
+
+
+def do_fork(kernel, parent: Task, name: str) -> "tuple[Task, ForkReport]":
+    """Fork ``parent``; returns ``(child, report)``.
+
+    Fork cycles are charged to the parent (the caller of fork(2)).
+    """
+    config = kernel.config
+    cost = kernel.cost
+    report = ForkReport(cycles=cost.fork_base)
+
+    child = kernel.allocate_task(name=name, parent=parent)
+    kernel.tlbshare.on_fork(parent, child)
+    counters = kernel.counter_scope(child)
+    kernel.counter_scope(parent).bump("forks")
+
+    # Clone the VMA list (the child sees the same regions; COW semantics
+    # are enforced through PTE write protection below).
+    child.mm.mmap_hint = parent.mm.mmap_hint
+    for vma in parent.mm.vmas():
+        report.cycles += cost.fork_per_vma
+        child.mm.insert_vma(vma.clone())
+
+    if config.fork_policy is ForkPolicy.SHARED_PTP:
+        outcome = kernel.ptmgr.share_at_fork(parent, child, counters)
+        report.cycles += outcome.cycles
+        report.slots_shared = outcome.slots_shared
+        report.ptes_write_protected = outcome.ptes_write_protected
+        restrict = set(outcome.fallback_slots)
+        copied = _stock_copy(kernel, parent, child, counters, report,
+                             restrict_slots=restrict,
+                             include_preloaded_code=False)
+    else:
+        copied = _stock_copy(
+            kernel, parent, child, counters, report,
+            restrict_slots=None,
+            include_preloaded_code=config.fork_policy is ForkPolicy.COPY_PTE,
+        )
+    report.ptes_copied = copied
+    report.child_ptps_allocated = child.counters.ptps_allocated
+
+    parent.stats.charge("fork_cycles", report.cycles)
+    return child, report
+
+
+def _stock_copy(kernel, parent: Task, child: Task, counters, report,
+                restrict_slots: Optional[Set[int]],
+                include_preloaded_code: bool) -> int:
+    """Stock fork's PTE copy pass.  Returns the number of PTEs copied.
+
+    ``restrict_slots`` limits copying to the given level-1 slots (used
+    by the shared-PTP policy for its non-shareable fallback slots).
+    """
+    cost = kernel.cost
+    copied_total = 0
+    parent_wp_needed = False
+
+    for vma in parent.mm.vmas():
+        if vma.flags.is_anonymous:
+            pages = vma.page_range()
+        elif include_preloaded_code and vma.zygote_preloaded and (
+                vma.prot.executable):
+            # The copy-PTE variant traverses zygote-preloaded shared
+            # code, copying whatever the parent has populated.
+            pages = vma.page_range()
+        elif vma.anon_pages:
+            # File-backed mapping holding COW-ed anonymous pages: only
+            # those PTEs cannot be refilled by faults.
+            pages = sorted(vma.anon_pages)
+        else:
+            # Pure file-backed mapping: skipped, faults refill it.
+            continue
+
+        if restrict_slots is not None:
+            # Shared-PTP fallback: only the non-shareable slots are
+            # walked at all; shared ranges are never traversed.
+            pages = [
+                vpn for vpn in pages
+                if ptp_index(vpn << 12) in restrict_slots
+            ]
+        else:
+            pages = list(pages)
+        report.cycles += len(pages) * cost.fork_traverse_per_page
+        for vpn in pages:
+            vaddr = vpn << 12
+            slot_index = ptp_index(vaddr)
+            looked_up = parent.mm.tables.lookup_pte(vaddr)
+            if looked_up is None:
+                continue
+            parent_ptp, index, pte = looked_up
+
+            needs_cow = vma.is_private_writable and Pte.is_writable(pte)
+            if needs_cow:
+                parent_ptp.set(index, Pte.write_protect(pte))
+                pte = Pte.write_protect(pte)
+                parent_wp_needed = True
+
+            child_slot = child.mm.tables.slot(slot_index)
+            if child_slot is None or child_slot.ptp is None:
+                kernel.ptmgr.alloc_ptp(
+                    child.mm, slot_index, counters,
+                    domain=kernel.tlbshare.user_domain_for(child),
+                    charge=lambda cycles: _charge_report(report, cycles),
+                )
+                child_slot = child.mm.tables.slot(slot_index)
+            child_slot.ptp.set(index, pte)
+            child_slot.ptp.shadow[index] = parent_ptp.shadow[index]
+            kernel.memory.frame(Pte.pfn(pte)).get()
+            counters.bump("ptes_copied_fork")
+            report.cycles += cost.pte_copy
+            copied_total += 1
+
+    if parent_wp_needed:
+        # Parent TLBs may cache the old writable entries.
+        kernel.flush_task_tlbs(parent)
+        counters.bump("tlb_shootdowns")
+        report.cycles += cost.tlb_flush_cost
+    return copied_total
+
+
+def _charge_report(report: ForkReport, cycles: float) -> None:
+    report.cycles += cycles

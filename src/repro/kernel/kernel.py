@@ -1,0 +1,209 @@
+"""The kernel facade: the composition root tying every subsystem together.
+
+A :class:`Kernel` owns one :class:`~repro.hw.platform.Platform` and one
+:class:`~repro.kernel.config.KernelConfig`, and exposes the operations
+scenarios use: process creation, fork, the VM syscalls, scheduling, and
+trace execution.  Experiments instantiate one kernel per configuration
+(stock / copy-PTE / shared-PTP / shared-PTP&TLB) and run identical
+workloads against each.
+"""
+
+import itertools
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.constants import NUM_ASIDS
+from repro.common.errors import SimulationError
+from repro.hw.memory import Frame, FrameKind
+from repro.hw.pagetable import PageTablePage, Pte
+from repro.hw.platform import Platform
+from repro.kernel.config import KernelConfig
+from repro.kernel.counters import Counters, CounterScope
+from repro.kernel.engine import ExecutionEngine, KernelPath
+from repro.kernel.fault import FaultHandler
+from repro.kernel.fork import do_fork
+from repro.kernel.mm import MmStruct
+from repro.kernel.pagecache import PageCache
+from repro.kernel.sched import Scheduler
+from repro.kernel.syscalls import SyscallInterface
+from repro.kernel.task import Task, TaskState
+from repro.core.ptshare import PageTableManager
+from repro.core.tlbshare import TlbSharePolicy
+
+
+class Kernel:
+    """One simulated kernel instance managing one platform."""
+
+    def __init__(self, platform: Optional[Platform] = None,
+                 config: Optional[KernelConfig] = None) -> None:
+        self.platform = platform or Platform()
+        self.config = config or KernelConfig()
+        self.config.validate()
+        self.cost = self.platform.cost
+        self.memory = self.platform.memory
+
+        self.counters = Counters()
+        self.page_cache = PageCache(self.memory)
+        #: The shared zero page (read-only mapped for untouched
+        #: anonymous pages); holds a permanent reference so it is never
+        #: freed.
+        self.zero_frame: Frame = self.memory.allocate(FrameKind.ANON).get()
+
+        self.tlbshare = TlbSharePolicy(self.config)
+        self.ptmgr = PageTableManager(
+            self.memory, self.cost, self.config,
+            tlb_flush_task=self.flush_task_tlbs,
+            tlb_flush_all=self.platform.flush_all_tlbs,
+        )
+        self.fault_handler = FaultHandler(self)
+        self.syscalls = SyscallInterface(self)
+        self.scheduler = Scheduler(self)
+        self.engine = ExecutionEngine(self)
+
+        self.tasks: Dict[int, Task] = {}
+        self._next_pid = itertools.count(1)
+        self._next_asid = itertools.count(1)
+        #: ASIDs released by exited tasks, safe to reuse because exit
+        #: flushes the task's TLB entries on every core.
+        self._free_asids: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Process lifecycle.
+    # ------------------------------------------------------------------
+
+    def allocate_task(self, name: str, parent: Optional[Task] = None) -> Task:
+        """Create a task with a fresh, empty address space."""
+        pid = next(self._next_pid)
+        if self._free_asids:
+            asid = self._free_asids.pop()
+        else:
+            asid = next(self._next_asid)
+        if asid >= NUM_ASIDS:
+            # More than 255 *live* address spaces: real kernels roll the
+            # ASID generation over with a full flush; scenarios here
+            # never need that, so treat it as misuse.
+            raise SimulationError("ASID space exhausted")
+        task = Task(
+            pid=pid, name=name,
+            mm=MmStruct(self.memory, owner_pid=pid),
+            asid=asid, parent=parent,
+        )
+        self.tasks[pid] = task
+        return task
+
+    def create_process(self, name: str) -> Task:
+        """Create a standalone process (init, daemons, the zygote)."""
+        return self.allocate_task(name)
+
+    def exec_zygote(self, task: Task) -> None:
+        """Mark ``task`` as the zygote (the exec-time flag of 3.2.2)."""
+        self.tlbshare.on_exec(task, is_zygote_binary=True)
+
+    def fork(self, parent: Task, name: str) -> "tuple[Task, ForkReport]":
+        """Fork a task under the configured policy."""
+        return do_fork(self, parent, name)
+
+    def exit_task(self, task: Task) -> None:
+        """Tear down a task's address space (Section 3.1.2, case 5)."""
+        counters = self.counter_scope(task)
+        for slot_index, _ in list(task.mm.tables.populated_slots()):
+            self.ptmgr.release_slot(
+                task, slot_index, counters, free_frames=self._drop_ptp_frames
+            )
+        task.mm.release_pgd()
+        self.flush_task_tlbs(task)
+        for core in self.platform.cores:
+            if core.current_task is task:
+                core.current_task = None
+        task.state = TaskState.EXITED
+        self._free_asids.append(task.asid)
+
+    # ------------------------------------------------------------------
+    # Scheduling / execution.
+    # ------------------------------------------------------------------
+
+    def schedule(self, task: Task, core_id: Optional[int] = None):
+        """Ensure ``task`` is running on a core; returns the core."""
+        if core_id is None:
+            core_id = task.pinned_core if task.pinned_core is not None else 0
+        core = self.platform.cores[core_id]
+        report = self.scheduler.switch_to(core, task)
+        if report.switched:
+            self.engine.run_kernel_path(
+                core, task, KernelPath.CONTEXT_SWITCH,
+                report.kernel_instructions,
+            )
+        return core
+
+    def run(self, task: Task, events: Iterable,
+            core_id: Optional[int] = None) -> None:
+        """Execute a trace of access events as ``task``."""
+        self.engine.run(task, events, core_id)
+
+    # ------------------------------------------------------------------
+    # PTE/frame reference management.
+    # ------------------------------------------------------------------
+
+    def install_pte(self, ptp: PageTablePage, index: int, frame: Frame,
+                    writable: bool = False, executable: bool = False,
+                    global_: bool = False, large: bool = False) -> None:
+        """Install a PTE, taking a mapping reference on the frame."""
+        frame.get()
+        ptp.set(index, Pte.make(
+            frame.pfn, writable=writable, user=True, global_=global_,
+            executable=executable, large=large,
+        ))
+
+    def put_frame(self, frame: Frame) -> None:
+        """Drop a mapping reference; frees anonymous frames at zero.
+
+        File frames belong to the page cache and outlive their mappings;
+        the zero frame holds a permanent reference.
+        """
+        remaining = frame.put()
+        if remaining == 0 and frame.kind is FrameKind.ANON and (
+                frame is not self.zero_frame):
+            self.memory.free(frame)
+
+    def take_frame_refs(self, ptp: PageTablePage) -> None:
+        """Take one reference per valid PTE (after a bulk PTE copy)."""
+        for _, pte in ptp.iter_valid():
+            self.memory.frame(Pte.pfn(pte)).get()
+
+    def _drop_ptp_frames(self, ptp: PageTablePage) -> None:
+        """Clear every PTE of a PTP, dropping the frame references."""
+        for index, pte in list(ptp.iter_valid()):
+            ptp.clear(index)
+            self.put_frame(self.memory.frame(Pte.pfn(pte)))
+
+    # ------------------------------------------------------------------
+    # TLB maintenance.
+    # ------------------------------------------------------------------
+
+    def flush_task_tlbs(self, task: Task) -> None:
+        """Drop one task's TLB entries on every core."""
+        for core in self.platform.cores:
+            core.flush_tlb_asid(task.asid)
+
+    # ------------------------------------------------------------------
+    # Accounting.
+    # ------------------------------------------------------------------
+
+    def counter_scope(self, task: Optional[Task]) -> CounterScope:
+        """Global counters plus the acting task's counters."""
+        return CounterScope(
+            self.counters, task.counters if task is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection used by experiments.
+    # ------------------------------------------------------------------
+
+    def shared_ptp_count(self, task: Task) -> int:
+        """Number of a task's PTPs currently shared."""
+        return self.ptmgr.shared_slot_count(task.mm)
+
+    def live_tasks(self) -> List[Task]:
+        """Every task that has not exited."""
+        return [
+            t for t in self.tasks.values() if t.state is not TaskState.EXITED
+        ]

@@ -1,0 +1,160 @@
+"""``mm_struct``: one address space — its VMAs and page tables."""
+
+import bisect
+from typing import Iterator, List, Optional
+
+from repro.common.constants import (
+    PAGE_SIZE,
+    PTP_SLOTS,
+    USER_SPACE_END,
+    align_up,
+)
+from repro.common.errors import VmaError
+from repro.hw.memory import FrameKind, PhysicalMemory
+from repro.hw.pagetable import AddressSpaceTables
+from repro.kernel.vma import Vma
+
+#: Default base of the mmap allocation area (grows upward).
+MMAP_AREA_BASE = 0x4000_0000
+#: Stack top (grows down from just under the user/kernel split).
+STACK_TOP = 0xBF00_0000
+
+#: Level-1 descriptor size: Linux/ARM treats the pgd as 2048 8-byte
+#: paired entries; 2048 * 8 = 16KB = 4 frames.
+_PGD_ENTRY_SIZE = 8
+_PGD_ENTRIES_PER_FRAME = PAGE_SIZE // _PGD_ENTRY_SIZE
+
+
+class MmStruct:
+    """An address space: sorted VMA list plus the page-table tree."""
+
+    def __init__(self, memory: PhysicalMemory, owner_pid: int = 0) -> None:
+        self._memory = memory
+        self.owner_pid = owner_pid
+        self.tables = AddressSpaceTables()
+        self._vmas: List[Vma] = []  # Sorted by start address.
+        self._starts: List[int] = []
+        num_pgd_frames = (PTP_SLOTS + _PGD_ENTRIES_PER_FRAME - 1) // (
+            _PGD_ENTRIES_PER_FRAME
+        )
+        self._pgd_frames = [
+            memory.allocate(FrameKind.PTP).get() for _ in range(num_pgd_frames)
+        ]
+        self.mmap_hint = MMAP_AREA_BASE
+
+    # -- page-table physical layout (for walk cache modelling) -------------
+
+    def pgd_entry_paddr(self, slot_index: int) -> int:
+        """Physical address of one level-1 descriptor."""
+        frame = self._pgd_frames[slot_index // _PGD_ENTRIES_PER_FRAME]
+        return frame.paddr + (slot_index % _PGD_ENTRIES_PER_FRAME) * (
+            _PGD_ENTRY_SIZE
+        )
+
+    # -- VMA bookkeeping -------------------------------------------------------
+
+    def vmas(self) -> Iterator[Vma]:
+        """Iterate the VMAs in address order."""
+        return iter(self._vmas)
+
+    @property
+    def vma_count(self) -> int:
+        """Number of VMAs."""
+        return len(self._vmas)
+
+    def find_vma(self, vaddr: int) -> Optional[Vma]:
+        """The VMA containing ``vaddr``, if any."""
+        index = bisect.bisect_right(self._starts, vaddr) - 1
+        if index >= 0 and self._vmas[index].contains(vaddr):
+            return self._vmas[index]
+        return None
+
+    def find_intersecting(self, start: int, end: int) -> List[Vma]:
+        """All VMAs overlapping ``[start, end)``, in address order."""
+        index = max(bisect.bisect_right(self._starts, start) - 1, 0)
+        found = []
+        while index < len(self._vmas):
+            vma = self._vmas[index]
+            if vma.start >= end:
+                break
+            if vma.overlaps(start, end):
+                found.append(vma)
+            index += 1
+        return found
+
+    def insert_vma(self, vma: Vma) -> Vma:
+        """Add a region (must not overlap)."""
+        if vma.end > USER_SPACE_END:
+            raise VmaError(f"region {vma!r} crosses into kernel space")
+        if self.find_intersecting(vma.start, vma.end):
+            raise VmaError(f"region {vma!r} overlaps an existing mapping")
+        index = bisect.bisect_left(self._starts, vma.start)
+        self._vmas.insert(index, vma)
+        self._starts.insert(index, vma.start)
+        return vma
+
+    def remove_vma(self, vma: Vma) -> None:
+        """Remove a region by identity."""
+        index = bisect.bisect_left(self._starts, vma.start)
+        if index >= len(self._vmas) or self._vmas[index] is not vma:
+            raise VmaError(f"region {vma!r} not present")
+        del self._vmas[index]
+        del self._starts[index]
+
+    def carve_range(self, start: int, end: int) -> List[Vma]:
+        """Detach the exact range ``[start, end)`` from the VMA list.
+
+        VMAs straddling the boundary are split; the parts inside the
+        range are removed and returned (for the caller to tear down),
+        the parts outside are retained.
+        """
+        removed = []
+        for vma in self.find_intersecting(start, end):
+            self.remove_vma(vma)
+            if vma.start < start:
+                outside, vma = vma.split_at(start)
+                self.insert_vma(outside)
+            if vma.end > end:
+                vma, outside = vma.split_at(end)
+                self.insert_vma(outside)
+            removed.append(vma)
+        return removed
+
+    def get_unmapped_area(
+        self, length: int, alignment: int = PAGE_SIZE,
+        hint: Optional[int] = None,
+    ) -> int:
+        """First-fit search for a free, aligned range of ``length`` bytes."""
+        length = align_up(length, PAGE_SIZE)
+        candidate = align_up(hint if hint is not None else self.mmap_hint,
+                             alignment)
+        while candidate + length <= USER_SPACE_END:
+            blockers = self.find_intersecting(candidate, candidate + length)
+            if not blockers:
+                if hint is None:
+                    self.mmap_hint = candidate + length
+                return candidate
+            candidate = align_up(blockers[-1].end, alignment)
+        raise VmaError(f"no free range of {length:#x} bytes")
+
+    # -- statistics ----------------------------------------------------------------
+
+    def total_mapped_pages(self) -> int:
+        """Pages covered by all VMAs."""
+        return sum(vma.num_pages for vma in self._vmas)
+
+    def ptp_slots_spanned(self) -> int:
+        """Populated page-table slots (each covering 2MB)."""
+        return self.tables.populated_count
+
+    def vmas_in_slot(self, slot_index: int) -> List[Vma]:
+        """VMAs intersecting one 2MB page-table slot's range."""
+        base = self.tables.slot_base_va(slot_index)
+        return self.find_intersecting(base, base + (1 << 21))
+
+    def release_pgd(self) -> None:
+        """Free the level-1 table frames (at address-space teardown)."""
+        for frame in self._pgd_frames:
+            frame.put()
+            self._memory.free(frame)
+        self._pgd_frames = []

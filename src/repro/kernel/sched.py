@@ -1,0 +1,100 @@
+"""Context switching and its TLB consequences.
+
+Per-switch behaviour (Cortex-A9 / Linux-ARM, plus the paper's variants):
+
+* the micro I/D TLBs are always flushed (hardware behaviour);
+* with ASIDs enabled, the main TLB is left intact — entries are tagged;
+* with ASIDs disabled (Figure 13's "Disabled ASID" group), every
+  non-global main-TLB entry is flushed, as an OS without address-space
+  tags must do;
+* without domain support (Section 3.2.3 fallback), a switch from a
+  zygote-like process to a non-zygote process additionally flushes the
+  global entries, since the incoming process must not use them.
+
+The scheduler also models cpuset pinning (Section 4.2.4 pins the IPC
+client and server to one core) and the group-scheduling hint from the
+paper's fallback discussion: prefer picking a next task from the same
+zygote-like/non-zygote group as the outgoing one.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.kernel.task import Task, TaskState
+
+
+@dataclass
+class SwitchReport:
+    """What one context switch did."""
+
+    switched: bool
+    cycles: float = 0.0
+    main_tlb_flushed: int = 0
+    #: Kernel instructions of the switch path (run by the engine).
+    kernel_instructions: int = 0
+
+
+class Scheduler:
+    """Policy-aware context switching."""
+
+    #: Kernel instructions executed by the context-switch path.
+    SWITCH_PATH_INSTRUCTIONS = 200
+
+    def __init__(self, kernel) -> None:
+        self._kernel = kernel
+
+    def switch_to(self, core, task: Task) -> SwitchReport:
+        """Make ``task`` the running task on ``core``."""
+        kernel = self._kernel
+        prev = core.current_task
+        if prev is task:
+            return SwitchReport(switched=False)
+        if task.pinned_core is not None and task.pinned_core != core.core_id:
+            raise ValueError(
+                f"task {task.pid} is pinned to core {task.pinned_core}, "
+                f"not {core.core_id}"
+            )
+
+        report = SwitchReport(
+            switched=True,
+            cycles=kernel.cost.context_switch_base,
+            kernel_instructions=self.SWITCH_PATH_INSTRUCTIONS,
+        )
+        core.flush_micro_tlbs()
+        if not kernel.config.asid_enabled:
+            report.main_tlb_flushed += core.main_tlb.flush_non_global()
+            report.cycles += kernel.cost.tlb_flush_cost
+        if kernel.tlbshare.must_flush_globals_on_switch(prev, task):
+            report.main_tlb_flushed += core.main_tlb.flush_all()
+            report.cycles += kernel.cost.tlb_flush_cost
+
+        if prev is not None and prev.state is TaskState.RUNNING:
+            prev.state = TaskState.RUNNABLE
+        core.current_task = task
+        task.state = TaskState.RUNNING
+        kernel.counter_scope(task).bump("context_switches")
+        # The incoming task bears the switch cost (it is the context the
+        # paper's per-process PMU windows attribute it to).
+        task.stats.charge("context_switch_cycles", report.cycles)
+        core.stats.charge("context_switch_cycles", report.cycles)
+        return report
+
+    def pick_next(self, candidates: List[Task],
+                  prev: Optional[Task]) -> Task:
+        """Pick the next runnable task.
+
+        With ``group_scheduling`` (the paper's no-domain fallback hint),
+        prefer a candidate in the same zygote-like/non-zygote group as
+        the outgoing task to minimise global-entry flushes.
+        """
+        runnable = [t for t in candidates if t.state is not TaskState.EXITED]
+        if not runnable:
+            raise ValueError("no runnable tasks")
+        if self._kernel.config.group_scheduling and prev is not None:
+            same_group = [
+                t for t in runnable
+                if t.is_zygote_like == prev.is_zygote_like
+            ]
+            if same_group:
+                return same_group[0]
+        return runnable[0]

@@ -1,0 +1,66 @@
+"""``task_struct``: one process.
+
+Carries the paper's two new flags (Section 3.2.2): ``is_zygote`` — set by
+exec when the zygote starts — and ``is_zygote_child`` — set by fork for
+the zygote's children.  Together they define the *zygote-like* processes
+whose DACR grants client access to the zygote domain.
+"""
+
+import enum
+from typing import Optional
+
+from repro.hw.cpu import CycleStats
+from repro.hw.domain import Dacr, stock_dacr
+from repro.kernel.counters import Counters
+from repro.kernel.mm import MmStruct
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states of a task."""
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    EXITED = "exited"
+
+
+class Task:
+    """One process: identity, address space, protection state, stats."""
+
+    def __init__(
+        self,
+        pid: int,
+        name: str,
+        mm: MmStruct,
+        asid: int,
+        dacr: Optional[Dacr] = None,
+        parent: Optional["Task"] = None,
+    ) -> None:
+        self.pid = pid
+        self.name = name
+        self.mm = mm
+        self.asid = asid
+        self.dacr = dacr if dacr is not None else stock_dacr()
+        self.parent = parent
+        self.state = TaskState.RUNNABLE
+
+        #: Paper (Section 3.2.2): set by exec for the zygote itself.
+        self.is_zygote = False
+        #: Paper (Section 3.2.2): set by fork for the zygote's children.
+        self.is_zygote_child = False
+
+        self.stats = CycleStats()
+        self.counters = Counters()
+        #: Core the task is pinned to, if any (cpuset, Section 4.2.4).
+        self.pinned_core: Optional[int] = None
+
+    @property
+    def is_zygote_like(self) -> bool:
+        """Zygote or zygote-child: may use the shared global TLB entries."""
+        return self.is_zygote or self.is_zygote_child
+
+    def __repr__(self) -> str:
+        flags = ""
+        if self.is_zygote:
+            flags = " zygote"
+        elif self.is_zygote_child:
+            flags = " zygote-child"
+        return f"Task(pid={self.pid}, {self.name!r}, asid={self.asid}{flags})"

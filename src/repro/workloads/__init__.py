@@ -1,0 +1,47 @@
+"""Synthetic application workloads.
+
+We cannot re-run Angry Birds on a Nexus 7, so each of the paper's eleven
+test applications (Section 4.1.2) is modelled as an
+:class:`~repro.workloads.profiles.AppProfile` whose footprint statistics
+are calibrated to the paper's published measurements: Table 1's
+user/kernel instruction split, Table 3's cold/warm inherited-PTE counts,
+Figure 2's footprint sizes, and the Section 2.3 overlap and sparsity
+structure.  The builders turn a profile into concrete page sets against
+a booted :class:`~repro.android.zygote.AndroidRuntime`, and the session
+driver launches and runs apps while measuring the paper's windows.
+"""
+
+from repro.workloads.footprints import AppFootprint, build_footprint
+from repro.workloads.profiles import (
+    APP_PROFILES,
+    HELLOWORLD,
+    AppProfile,
+    profile_by_name,
+)
+from repro.workloads.multitasking import (
+    MultitaskingResult,
+    MultitaskingWorkload,
+)
+from repro.workloads.session import (
+    AppSession,
+    LaunchMeasurement,
+    launch_app,
+    probe_app,
+    run_steady_state,
+)
+
+__all__ = [
+    "APP_PROFILES",
+    "AppFootprint",
+    "AppProfile",
+    "AppSession",
+    "HELLOWORLD",
+    "LaunchMeasurement",
+    "MultitaskingResult",
+    "MultitaskingWorkload",
+    "build_footprint",
+    "launch_app",
+    "probe_app",
+    "profile_by_name",
+    "run_steady_state",
+]

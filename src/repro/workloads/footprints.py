@@ -1,0 +1,298 @@
+"""Turning an :class:`AppProfile` into concrete page sets.
+
+The footprint builder selects, for one app process, the exact virtual
+pages of each kind the app will touch.  Two selection rules carry the
+paper's Section 2.3 structure:
+
+* **commonality** (Table 2): every app draws the bulk of its inherited
+  preloaded-code pages from a *prefix* of the runtime's canonical hot
+  ranking, so different apps' footprints intersect heavily — the hot
+  libc/binder/framework pages everyone runs;
+* **sparsity** (Figure 4): the remaining pages are sampled uniformly
+  from each library's span, so accessed pages scatter across 64KB
+  regions rather than clustering — which is what makes 64KB large pages
+  wasteful for this code.
+"""
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.rng import DeterministicRng
+from repro.android.layout import MappedLibrary
+from repro.android.libraries import CodeCategory
+from repro.android.zygote import AndroidRuntime
+from repro.workloads.profiles import AppProfile
+
+#: Fraction of an app's inherited pages drawn from the common hot
+#: prefix of the zygote ranking (drives Table 2's overlap numbers).
+COMMON_PREFIX_FRACTION = 0.8
+#: Fraction of file-data reads drawn from zygote-populated data pages.
+DATA_INHERITED_FRACTION = 0.85
+
+
+@dataclass
+class AppFootprint:
+    """Concrete page addresses one app touches, by kind."""
+
+    profile: AppProfile
+    #: Preloaded code pages already populated by the zygote.
+    inherited_code: List[int] = field(default_factory=list)
+    #: Preloaded code pages the app faults in itself.
+    new_preloaded_code: List[int] = field(default_factory=list)
+    #: Platform- and app-specific DSO code pages.
+    other_code: List[int] = field(default_factory=list)
+    #: The app's own executable (odex) pages.
+    private_code: List[int] = field(default_factory=list)
+    #: Read-only file data (boot.art, resources).
+    file_data: List[int] = field(default_factory=list)
+    #: The app's own data files.
+    own_file_pages: List[int] = field(default_factory=list)
+    #: Anonymous heap pages written.
+    heap_writes: List[int] = field(default_factory=list)
+    #: Writes into preloaded DSO data segments (GOT initialisation);
+    #: these are what trigger unsharing under the original layout.
+    lib_data_writes: List[int] = field(default_factory=list)
+    #: Names of the libraries whose data segments get written.
+    written_libraries: List[str] = field(default_factory=list)
+
+    @property
+    def preloaded_code(self) -> List[int]:
+        """Inherited plus newly faulted preloaded pages."""
+        return self.inherited_code + self.new_preloaded_code
+
+    @property
+    def all_code(self) -> List[int]:
+        """Every instruction page of the footprint."""
+        return (self.preloaded_code + self.other_code + self.private_code)
+
+    def code_pages_by_category(self) -> Dict[CodeCategory, int]:
+        """Page counts in the paper's Figure 2 categories.
+
+        Preloaded pages are attributed to their actual source library
+        category via the runtime index recorded at build time.
+        """
+        return dict(self._category_counts)
+
+    # Populated by the builder.
+    _category_counts: Dict[CodeCategory, int] = field(default_factory=dict)
+
+
+class _CodeIndex:
+    """Reverse index: code address -> owning library category."""
+
+    def __init__(self, runtime: AndroidRuntime) -> None:
+        spans: List[Tuple[int, int, CodeCategory, str]] = []
+        for name, mapped in runtime.mapped.items():
+            if mapped.code_vma is None:
+                continue
+            spans.append((
+                mapped.code_vma.start, mapped.code_vma.end,
+                mapped.library.category, name,
+            ))
+        spans.sort()
+        self._starts = [s[0] for s in spans]
+        self._spans = spans
+
+    def lookup(self, addr: int) -> Optional[Tuple[CodeCategory, str]]:
+        """Probe for an entry; updates LRU and statistics."""
+        index = bisect.bisect_right(self._starts, addr) - 1
+        if index < 0:
+            return None
+        start, end, category, name = self._spans[index]
+        if start <= addr < end:
+            return category, name
+        return None
+
+
+def _code_index(runtime: AndroidRuntime) -> _CodeIndex:
+    index = getattr(runtime, "_code_index_cache", None)
+    if index is None:
+        index = _CodeIndex(runtime)
+        runtime._code_index_cache = index
+    return index
+
+
+def build_footprint(
+    runtime: AndroidRuntime,
+    profile: AppProfile,
+    rng: DeterministicRng,
+    own_libraries: Optional[Dict[str, MappedLibrary]] = None,
+) -> AppFootprint:
+    """Select the page sets for one app.
+
+    ``own_libraries`` maps the app's additionally mapped objects
+    (platform DSOs, app DSOs, its odex and data files), as returned by
+    the session's library-loading step; without it the footprint only
+    covers zygote-preloaded content.
+    """
+    footprint = AppFootprint(profile=profile)
+    own_libraries = own_libraries or {}
+
+    _select_inherited(runtime, profile, rng.fork("inherited"), footprint)
+    _select_new_preloaded(runtime, profile, rng.fork("new"), footprint)
+    _select_other_code(profile, rng.fork("other"), own_libraries, footprint)
+    _select_file_data(runtime, profile, rng.fork("data"), footprint)
+    _select_own_files(profile, rng.fork("own"), own_libraries, footprint)
+    _select_heap(runtime, profile, rng.fork("heap"), footprint)
+    _select_lib_data_writes(runtime, profile, rng.fork("got"), footprint)
+
+    _categorize(runtime, own_libraries, footprint)
+    return footprint
+
+
+# ---------------------------------------------------------------------------
+
+
+def _select_inherited(runtime, profile, rng, footprint) -> None:
+    ranking = runtime.code_hot_ranking
+    want = min(profile.zygote_overlap_pages, len(ranking))
+    prefix_len = int(want * COMMON_PREFIX_FRACTION)
+    chosen = list(ranking[:prefix_len])
+    tail_pool = ranking[prefix_len:]
+    extra = want - prefix_len
+    if extra > 0 and tail_pool:
+        chosen.extend(rng.sample(tail_pool, min(extra, len(tail_pool))))
+    footprint.inherited_code = chosen
+
+
+def _select_new_preloaded(runtime, profile, rng, footprint) -> None:
+    """Preloaded code pages the zygote did *not* populate."""
+    want = profile.new_preloaded_pages
+    if want <= 0:
+        return
+    pool: List[int] = []
+    for name, mapped in sorted(runtime.mapped.items()):
+        if mapped.code_vma is None:
+            continue
+        if not mapped.library.category.is_zygote_preloaded:
+            continue
+        touched = set(runtime.touched_code_pages.get(name, ()))
+        pool.extend(
+            addr for addr in range(mapped.code_vma.start,
+                                   mapped.code_vma.end, PAGE_SIZE)
+            if addr not in touched
+        )
+    footprint.new_preloaded_code = rng.sample(pool, min(want, len(pool)))
+
+
+def _select_other_code(profile, rng, own_libraries, footprint) -> None:
+    pool: List[int] = []
+    for mapped in own_libraries.values():
+        if mapped.code_vma is None:
+            continue
+        if mapped.library.category is not CodeCategory.OTHER_DSO:
+            continue
+        pool.extend(range(mapped.code_vma.start, mapped.code_vma.end,
+                          PAGE_SIZE))
+    want = min(profile.other_dso_pages, len(pool))
+    footprint.other_code = rng.sample(pool, want) if want else []
+
+
+def _select_file_data(runtime, profile, rng, footprint) -> None:
+    inherited_pool: List[int] = []
+    for name in sorted(runtime.touched_data_pages):
+        inherited_pool.extend(runtime.touched_data_pages[name])
+    want_inherited = int(profile.file_data_pages * DATA_INHERITED_FRACTION)
+    chosen = rng.sample(inherited_pool,
+                        min(want_inherited, len(inherited_pool)))
+    # The rest comes from not-yet-resident resource pages.
+    fresh_pool: List[int] = []
+    touched = set(inherited_pool)
+    for lib in [runtime.catalog.boot_art, *runtime.catalog.resources]:
+        vma = runtime.mapped[lib.name].data_vma
+        fresh_pool.extend(
+            addr for addr in range(vma.start, vma.end, PAGE_SIZE)
+            if addr not in touched
+        )
+    want_fresh = profile.file_data_pages - len(chosen)
+    if want_fresh > 0 and fresh_pool:
+        chosen.extend(rng.sample(fresh_pool,
+                                 min(want_fresh, len(fresh_pool))))
+    footprint.file_data = chosen
+
+
+def _select_own_files(profile, rng, own_libraries, footprint) -> None:
+    # Private code: the odex mapping created by the session loader.
+    odex = own_libraries.get("__odex__")
+    if odex is not None and odex.code_vma is not None:
+        pool = list(range(odex.code_vma.start, odex.code_vma.end, PAGE_SIZE))
+        footprint.private_code = rng.sample(
+            pool, min(profile.private_code_pages, len(pool))
+        )
+    own = own_libraries.get("__own_files__")
+    if own is not None and own.data_vma is not None:
+        pool = list(range(own.data_vma.start, own.data_vma.end, PAGE_SIZE))
+        footprint.own_file_pages = rng.sample(
+            pool, min(profile.own_file_pages, len(pool))
+        )
+
+
+def _select_heap(runtime, profile, rng, footprint) -> None:
+    vma = runtime.java_heap
+    end = vma.end
+    if profile.heap_span_slots is not None:
+        end = min(end, vma.start + profile.heap_span_slots * (2 << 20))
+    pool = list(range(vma.start, end, PAGE_SIZE))
+    footprint.heap_writes = rng.sample(
+        pool, min(profile.heap_pages, len(pool))
+    )
+
+
+def _select_lib_data_writes(runtime, profile, rng, footprint) -> None:
+    """Pick the data segments the app writes (GOT/global init).
+
+    The written libraries are the *hottest* ones the app uses — the
+    libraries whose code it runs are the ones whose GOT entries get
+    bound — so under the original layout the unshared PTPs are exactly
+    the ones holding hot code (Section 3.1.3's motivating problem).
+    """
+    index = _code_index(runtime)
+    used_libs: List[str] = []
+    seen = set()
+    for addr in footprint.inherited_code:
+        hit = index.lookup(addr)
+        if hit is None:
+            continue
+        category, name = hit
+        if category is CodeCategory.ZYGOTE_DSO and name not in seen:
+            seen.add(name)
+            used_libs.append(name)
+    # Bind a *contiguous* (by load address) run of the used libraries:
+    # GOT writes cluster, so under the original layout they unshare a
+    # handful of PTPs — each of which also holds hot code.  Pick the
+    # densest window (framework libraries pack tightly).
+    used_libs.sort(key=lambda name: runtime.mapped[name].code_start)
+    count = min(profile.lib_data_segments_written, len(used_libs))
+    chosen: List[str] = []
+    if count:
+        best_start, best_span = 0, None
+        for start in range(len(used_libs) - count + 1):
+            first = runtime.mapped[used_libs[start]].code_start
+            last = runtime.mapped[used_libs[start + count - 1]].code_start
+            span = last - first
+            if best_span is None or span < best_span:
+                best_start, best_span = start, span
+        chosen = used_libs[best_start:best_start + count]
+    writes: List[int] = []
+    for name in chosen:
+        data_vma = runtime.mapped[name].data_vma
+        if data_vma is None:
+            continue
+        pages = min(2, data_vma.num_pages)
+        writes.extend(data_vma.start + i * PAGE_SIZE for i in range(pages))
+    footprint.lib_data_writes = writes
+    footprint.written_libraries = chosen
+
+
+def _categorize(runtime, own_libraries, footprint) -> None:
+    index = _code_index(runtime)
+    counts: Dict[CodeCategory, int] = {cat: 0 for cat in CodeCategory}
+    for addr in footprint.preloaded_code:
+        hit = index.lookup(addr)
+        if hit is not None:
+            counts[hit[0]] += 1
+    counts[CodeCategory.OTHER_DSO] += len(footprint.other_code)
+    counts[CodeCategory.PRIVATE] += len(footprint.private_code)
+    footprint._category_counts = counts

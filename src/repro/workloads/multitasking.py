@@ -1,0 +1,115 @@
+"""Multi-process steady-system workload.
+
+The paper's introduction motivates sharing with "applications with high
+degrees of parallelism and data/code sharing": many live processes,
+each mapping the same libraries, time-sharing the cores.  This driver
+keeps N applications alive simultaneously and round-robins execution
+quanta over the platform's cores, so the TLB/cache pressure of
+co-running processes — and the translation-memory footprint the paper's
+Figure 1 depicts — become measurable.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.events import AccessEvent, ifetch, store
+from repro.common.rng import DeterministicRng
+from repro.android.zygote import AndroidRuntime
+from repro.hw.memory import FrameKind
+from repro.workloads.footprints import build_footprint
+from repro.workloads.profiles import APP_PROFILES, AppProfile
+from repro.workloads.session import _map_own_libraries
+
+
+@dataclass
+class MultitaskingResult:
+    """Aggregate system behaviour over the measured quanta."""
+
+    apps: List[str]
+    quanta: int
+    total_faults: int = 0
+    file_backed_faults: int = 0
+    itlb_stall: float = 0.0
+    l1i_stall: float = 0.0
+    context_switches: int = 0
+    #: Page-table frames live at the end — the paper's linear-growth
+    #: motivation metric.
+    ptp_frames: int = 0
+    per_app_faults: Dict[str, int] = field(default_factory=dict)
+
+
+class MultitaskingWorkload:
+    """N live apps sharing the cores, round-robin quanta."""
+
+    def __init__(self, runtime: AndroidRuntime,
+                 profiles: Optional[Sequence[AppProfile]] = None,
+                 seed: int = 31,
+                 pages_per_quantum: int = 24,
+                 burst: int = 400) -> None:
+        self.runtime = runtime
+        self.profiles = list(profiles) if profiles else [
+            APP_PROFILES["Angrybirds"],
+            APP_PROFILES["Email"],
+            APP_PROFILES["Google Calendar"],
+            APP_PROFILES["WPS"],
+        ]
+        self._rng = DeterministicRng(seed, "multitask")
+        self.pages_per_quantum = pages_per_quantum
+        self.burst = burst
+        self.tasks = []
+        self._quanta_traces: List[List[AccessEvent]] = []
+
+    def start_apps(self) -> None:
+        """Fork every app and prepare its per-quantum working set."""
+        kernel = self.runtime.kernel
+        for index, profile in enumerate(self.profiles):
+            child, _ = self.runtime.fork_app(f"{profile.name}#{index}")
+            own = _map_own_libraries(self.runtime, child, profile)
+            footprint = build_footprint(
+                self.runtime, profile,
+                self._rng.fork(f"fp-{index}"), own,
+            )
+            hot = footprint.inherited_code[:self.pages_per_quantum]
+            heap = footprint.heap_writes[:4]
+            trace = [ifetch(addr, count=self.burst, lines=6)
+                     for addr in hot]
+            trace += [store(addr) for addr in heap]
+            self.tasks.append(child)
+            self._quanta_traces.append(trace)
+
+    def run(self, quanta: int = 100) -> MultitaskingResult:
+        """Round-robin ``quanta`` execution slices over all cores."""
+        if not self.tasks:
+            self.start_apps()
+        kernel = self.runtime.kernel
+        num_cores = len(kernel.platform.cores)
+        for quantum in range(quanta):
+            index = quantum % len(self.tasks)
+            task = self.tasks[index]
+            # All tasks of one round share a core (so they genuinely
+            # context-switch against each other); rounds rotate cores.
+            core_id = (quantum // len(self.tasks)) % num_cores
+            kernel.run(task, self._quanta_traces[index], core_id)
+        return self._collect(quanta)
+
+    def _collect(self, quanta: int) -> MultitaskingResult:
+        kernel = self.runtime.kernel
+        result = MultitaskingResult(
+            apps=[p.name for p in self.profiles], quanta=quanta,
+        )
+        for task in self.tasks:
+            result.total_faults += task.counters.total_faults
+            result.file_backed_faults += task.counters.file_backed_faults
+            result.itlb_stall += task.stats.itlb_stall
+            result.l1i_stall += task.stats.l1i_stall
+            result.context_switches += task.counters.context_switches
+            result.per_app_faults[task.name] = task.counters.total_faults
+        result.ptp_frames = kernel.memory.live_frames(FrameKind.PTP)
+        return result
+
+    def finish(self) -> None:
+        """Exit every app process and release their address spaces."""
+        for task in self.tasks:
+            self.runtime.kernel.exit_task(task)
+        self.tasks = []
+        self._quanta_traces = []

@@ -1,0 +1,180 @@
+"""Per-application workload profiles.
+
+Each profile pins the statistics the paper publishes for that app:
+
+* ``user_fraction`` — Table 1 (instructions fetched from user space);
+* ``zygote_overlap_pages`` — Table 3 "cold start" x100: preloaded-code
+  pages the app touches that the zygote had already populated;
+* ``preloaded_code_pages`` — Table 3 "warm start" x100: all preloaded
+  code pages the app touches over a full run (after its first run these
+  are all present in the shared page tables);
+* footprint composition (other/private code, heap, file data) sized so
+  the Figure 2 bars (2,000-7,500 instruction pages) and the Figure 10
+  fault-reduction shape come out.
+
+``lib_data_segments_written`` drives unshare pressure: apps write the
+data segments (GOT, writable globals) of part of the libraries they
+use, which under the original layout forfeits sharing for the code
+that shares those PTPs (Section 3.1.3).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Calibrated workload description of one application."""
+
+    name: str
+    #: Fraction of instruction fetches from user space (Table 1).
+    user_fraction: float
+    #: Preloaded code pages touched over a full run (Table 3 warm x100).
+    preloaded_code_pages: int
+    #: ... of which already populated by the zygote (Table 3 cold x100).
+    zygote_overlap_pages: int
+    #: Code pages from non-preloaded (platform/app-specific) DSOs.
+    other_dso_pages: int
+    #: The app's own private code (odex) pages.
+    private_code_pages: int
+    #: Read-only file data touched (resources, boot.art, assets).
+    file_data_pages: int
+    #: The app's own data files (apk assets, databases), never inherited.
+    own_file_pages: int
+    #: Anonymous pages written (Java/native heap).
+    heap_pages: int
+    #: How many preloaded DSO data segments the app writes to.
+    lib_data_segments_written: int
+    #: Platform libraries the app loads (names from the catalog pool).
+    platform_dsos: Tuple[str, ...] = ()
+    #: Number of app-specific DSOs and their total code pages.
+    app_dso_count: int = 2
+    app_dso_pages: int = 300
+    #: Zipf skew of the fetch distribution over the footprint.
+    fetch_skew: float = 1.1
+    interactive: bool = True
+    #: Heap writes are confined to the first N 2MB slots of the Java
+    #: heap (None = the whole heap).  Small launch workloads touch a
+    #: compact nursery rather than the full heap span.
+    heap_span_slots: "int | None" = None
+
+    @property
+    def total_instruction_pages(self) -> int:
+        """The Figure 2 bar height for this app."""
+        return (
+            self.preloaded_code_pages
+            + self.other_dso_pages
+            + self.private_code_pages
+        )
+
+    @property
+    def new_preloaded_pages(self) -> int:
+        """Preloaded pages the app populates itself (warm - cold)."""
+        return self.preloaded_code_pages - self.zygote_overlap_pages
+
+
+def _profile(name, user, cold, warm, other, private, data, own, heap,
+             written, platform, app_dsos=2, app_pages=300,
+             interactive=True) -> AppProfile:
+    return AppProfile(
+        name=name,
+        user_fraction=user,
+        preloaded_code_pages=warm,
+        zygote_overlap_pages=cold,
+        other_dso_pages=other,
+        private_code_pages=private,
+        file_data_pages=data,
+        own_file_pages=own,
+        heap_pages=heap,
+        lib_data_segments_written=written,
+        platform_dsos=platform,
+        app_dso_count=app_dsos,
+        app_dso_pages=app_pages,
+        interactive=interactive,
+    )
+
+
+_GPU = ("libGLESv2_tegra.so", "libEGL_tegra.so", "libnvddk_2d_v2.so",
+        "libnvwinsys.so", "libnvglsi.so")
+_MEDIA = ("libnvomx.so", "libnvmm.so", "libaudiopolicy_vendor.so")
+
+#: The paper's eleven application scenarios (Section 4.1.2), keyed by
+#: display name.  Numbers: Table 1 user fraction; Table 3 cold/warm
+#: (x100); the rest calibrated to Figures 2 and 10.
+APP_PROFILES: Dict[str, AppProfile] = {
+    profile.name: profile
+    for profile in [
+        _profile("Angrybirds", 0.922, 1370, 2500, other=500, private=150,
+                 data=700, own=250, heap=1500, written=20,
+                 platform=_GPU, app_dsos=3, app_pages=350,
+                 interactive=False),
+        _profile("Adobe Reader", 0.933, 1820, 5500, other=1400, private=350,
+                 data=900, own=600, heap=1800, written=30,
+                 platform=_GPU[:2], app_dsos=3, app_pages=900),
+        _profile("Android Browser", 0.858, 1770, 5900, other=1100,
+                 private=250, data=1000, own=500, heap=2200, written=32,
+                 platform=_GPU[:3], app_dsos=2, app_pages=700,
+                 interactive=False),
+        _profile("Chrome", 0.853, 1480, 2500, other=1600, private=700,
+                 data=800, own=700, heap=2000, written=24,
+                 platform=_GPU[:2], app_dsos=4, app_pages=1200,
+                 interactive=False),
+        _profile("Chrome Sandbox", 0.888, 780, 1000, other=700, private=150,
+                 data=300, own=250, heap=700, written=10,
+                 platform=(), app_dsos=2, app_pages=500,
+                 interactive=False),
+        _profile("Chrome Privilege", 0.279, 840, 1100, other=800,
+                 private=150, data=500, own=900, heap=800, written=12,
+                 platform=(), app_dsos=2, app_pages=600,
+                 interactive=False),
+        _profile("Email", 0.871, 640, 1300, other=400, private=120,
+                 data=500, own=300, heap=900, written=14,
+                 platform=(), app_dsos=1, app_pages=150),
+        _profile("Google Calendar", 0.962, 1520, 2500, other=350,
+                 private=130, data=600, own=200, heap=1000, written=16,
+                 platform=(), app_dsos=1, app_pages=120),
+        _profile("MX Player", 0.593, 2300, 5800, other=1200, private=300,
+                 data=900, own=1000, heap=1600, written=26,
+                 platform=_GPU[:2] + _MEDIA, app_dsos=3, app_pages=600,
+                 interactive=False),
+        _profile("Laya Music Player", 0.826, 1740, 3400, other=700,
+                 private=180, data=700, own=500, heap=1100, written=18,
+                 platform=_MEDIA, app_dsos=2, app_pages=350,
+                 interactive=False),
+        _profile("WPS", 0.471, 1500, 2400, other=1500, private=400,
+                 data=800, own=1100, heap=1700, written=28,
+                 platform=_GPU[:2], app_dsos=4, app_pages=1000),
+    ]
+}
+
+#: The application-launch benchmark (Section 4.2.2): the AOSP
+#: Helloworld example.  Footprint sized so a stock launch takes ~1,900
+#: file-backed faults and a shared-PTP launch ~110 (Figure 9).
+HELLOWORLD = AppProfile(
+    name="Helloworld",
+    user_fraction=0.90,
+    preloaded_code_pages=1790,
+    zygote_overlap_pages=1750,
+    other_dso_pages=0,
+    private_code_pages=30,
+    file_data_pages=120,
+    own_file_pages=40,
+    heap_pages=420,
+    lib_data_segments_written=4,
+    platform_dsos=(),
+    app_dso_count=0,
+    app_dso_pages=0,
+    heap_span_slots=14,
+)
+
+
+def profile_by_name(name: str) -> AppProfile:
+    """Look up a profile (including Helloworld) by name."""
+    if name == HELLOWORLD.name:
+        return HELLOWORLD
+    try:
+        return APP_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; known: {sorted(APP_PROFILES)}"
+        ) from None

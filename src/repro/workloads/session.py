@@ -1,0 +1,226 @@
+"""App lifecycle driver: fork from the zygote, load, execute, measure.
+
+``launch_app`` reproduces the paper's launch procedure (Section 4.2.2):
+fork from the zygote *without exec*, map the app's own libraries and
+files, then execute the app's footprint.  The measurement window is the
+child's own accounting — it "begins when the zygote-child application
+process first starts executing", exactly as the paper defines it; the
+fork itself is charged to the zygote but the child's page-table
+allocations during fork do appear in the child's counters (Figure 9
+counts the address space's PTPs).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.rng import DeterministicRng
+from repro.android.catalog import AndroidCatalog
+from repro.android.layout import MappedLibrary
+from repro.android.libraries import CodeCategory, SharedLibrary, private_code_library
+from repro.android.zygote import AndroidRuntime
+from repro.kernel.fork import ForkReport
+from repro.kernel.task import Task
+from repro.workloads.footprints import AppFootprint, build_footprint
+from repro.workloads.profiles import AppProfile
+from repro.workloads.tracegen import build_app_trace
+
+
+@dataclass
+class LaunchMeasurement:
+    """The child-side window the paper's Figures 7-9 report."""
+
+    cycles: float
+    instructions: int
+    kernel_instructions: int
+    l1i_stall: float
+    l1d_stall: float
+    itlb_stall: float
+    dtlb_stall: float
+    fault_overhead: float
+    file_backed_faults: int
+    soft_faults: int
+    total_faults: int
+    ptps_allocated: int
+    ptes_copied: int
+    unshare_events: int
+    shared_ptps_end: int
+    populated_slots_end: int
+
+    @classmethod
+    def from_task(cls, kernel, task: Task) -> "LaunchMeasurement":
+        """Capture a task's counters/stats as a measurement."""
+        stats, counters = task.stats, task.counters
+        return cls(
+            cycles=stats.total_cycles,
+            instructions=stats.instructions,
+            kernel_instructions=stats.kernel_instructions,
+            l1i_stall=stats.l1i_stall,
+            l1d_stall=stats.l1d_stall,
+            itlb_stall=stats.itlb_stall,
+            dtlb_stall=stats.dtlb_stall,
+            fault_overhead=stats.fault_overhead,
+            file_backed_faults=counters.file_backed_faults,
+            soft_faults=counters.soft_faults,
+            total_faults=counters.total_faults,
+            ptps_allocated=counters.ptps_allocated,
+            ptes_copied=counters.ptes_copied,
+            unshare_events=counters.ptp_unshare_events,
+            shared_ptps_end=kernel.shared_ptp_count(task),
+            populated_slots_end=task.mm.tables.populated_count,
+        )
+
+
+@dataclass
+class AppSession:
+    """One launched application process."""
+
+    runtime: AndroidRuntime
+    profile: AppProfile
+    task: Task
+    fork_report: ForkReport
+    footprint: AppFootprint
+    own_libraries: Dict[str, MappedLibrary]
+    launch: Optional[LaunchMeasurement] = None
+
+    def finish(self) -> None:
+        """Exit the app process, releasing its address space."""
+        self.runtime.kernel.exit_task(self.task)
+
+
+def launch_app(
+    runtime: AndroidRuntime,
+    profile: AppProfile,
+    rng: DeterministicRng,
+    core_id: int = 0,
+    revisit_passes: int = 1,
+    base_burst: int = 2000,
+    round_seed: int = 0,
+) -> AppSession:
+    """Fork, load, and run one application; returns the session.
+
+    The *footprint* (which pages the app touches) is a function of
+    ``rng`` only — relaunching the same app touches the same pages, as
+    on a real device, so warm starts inherit the translations earlier
+    runs populated.  ``round_seed`` jitters only the trace (access
+    order, burst sizes), providing the run-to-run variance of the
+    paper's box plots.
+    """
+    kernel = runtime.kernel
+    child, fork_report = runtime.fork_app(profile.name)
+    own = _map_own_libraries(runtime, child, profile)
+    footprint = build_footprint(runtime, profile, rng.fork("footprint"),
+                                own_libraries=own)
+    trace = build_app_trace(runtime, footprint,
+                            rng.fork(f"trace-{round_seed}"),
+                            revisit_passes=revisit_passes,
+                            base_burst=base_burst)
+    kernel.run(child, trace, core_id)
+    session = AppSession(
+        runtime=runtime, profile=profile, task=child,
+        fork_report=fork_report, footprint=footprint, own_libraries=own,
+    )
+    session.launch = LaunchMeasurement.from_task(kernel, child)
+    return session
+
+
+def run_steady_state(session: AppSession, rng: DeterministicRng,
+                     revisit_passes: int = 2,
+                     base_burst: int = 2000) -> LaunchMeasurement:
+    """Run additional execution passes over the app's footprint."""
+    trace = build_app_trace(
+        session.runtime, session.footprint, rng.fork("steady"),
+        revisit_passes=revisit_passes, base_burst=base_burst,
+    )
+    session.runtime.kernel.run(session.task, trace)
+    return LaunchMeasurement.from_task(session.runtime.kernel, session.task)
+
+
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProbeResult:
+    """A footprint snapshot for the Section 2 analyses (no execution)."""
+
+    profile: AppProfile
+    footprint: AppFootprint
+    #: (file id, file page) identity of accessed zygote-preloaded code.
+    preloaded_identity: frozenset
+    #: ... of all accessed shared code (preloaded + other DSOs).
+    shared_identity: frozenset
+    #: Total instruction pages accessed (the Figure 2 bar).
+    total_instruction_pages: int
+
+
+def probe_app(runtime: AndroidRuntime, profile: AppProfile,
+              rng: DeterministicRng) -> ProbeResult:
+    """Build an app's footprint and identity sets, then exit the app.
+
+    Used by the motivation analyses (Figures 2-4, Table 2), which need
+    page sets but no trace execution.  Identities are (file, page)
+    pairs, so overlap is computed on library content — as the paper
+    does — rather than on virtual addresses.
+    """
+    kernel = runtime.kernel
+    child, _ = runtime.fork_app(profile.name)
+    own = _map_own_libraries(runtime, child, profile)
+    footprint = build_footprint(runtime, profile, rng.fork("footprint"),
+                                own_libraries=own)
+    preloaded = set()
+    shared = set()
+    for addr in footprint.all_code:
+        vma = child.mm.find_vma(addr)
+        if vma is None or vma.tag is None or vma.file is None:
+            continue
+        tag = vma.tag
+        if not tag.is_instruction_segment:
+            continue
+        identity = (vma.file.file_id, vma.file_page_of(addr))
+        if tag.category.is_shared_code:
+            shared.add(identity)
+        if tag.category.is_zygote_preloaded:
+            preloaded.add(identity)
+    result = ProbeResult(
+        profile=profile,
+        footprint=footprint,
+        preloaded_identity=frozenset(preloaded),
+        shared_identity=frozenset(shared),
+        total_instruction_pages=len(footprint.all_code),
+    )
+    kernel.exit_task(child)
+    return result
+
+
+def _map_own_libraries(runtime: AndroidRuntime, task: Task,
+                       profile: AppProfile) -> Dict[str, MappedLibrary]:
+    """Map the app's platform DSOs, private DSOs, odex, and data files."""
+    catalog = runtime.catalog
+    layout = runtime.layout
+    own: Dict[str, MappedLibrary] = {}
+
+    platform_by_name = {lib.name: lib for lib in catalog.platform_dsos}
+    for name in profile.platform_dsos:
+        own[name] = layout.map_library(task, platform_by_name[name])
+
+    if profile.app_dso_count:
+        per_dso = max(1, profile.app_dso_pages // profile.app_dso_count)
+        for index in range(profile.app_dso_count):
+            lib = AndroidCatalog.make_app_dso(profile.name, index, per_dso)
+            own[lib.name] = layout.map_library(task, lib)
+
+    if profile.private_code_pages:
+        odex = private_code_library(
+            profile.name, max(profile.private_code_pages, 1)
+        )
+        own["__odex__"] = layout.map_library(task, odex)
+
+    if profile.own_file_pages:
+        data_file = SharedLibrary(
+            name=f"{profile.name}.assets",
+            category=CodeCategory.OTHER_DSO,
+            code_pages=0,
+            data_pages=int(profile.own_file_pages * 1.3) + 1,
+            is_resource=True,
+        )
+        own["__own_files__"] = layout.map_library(task, data_file)
+    return own

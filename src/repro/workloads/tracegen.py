@@ -1,0 +1,155 @@
+"""Trace generation: page-burst event sequences from footprints.
+
+The generated traces reproduce the paper's Figure 3 structure: shared
+code dominates instruction *fetches* even more than it dominates the
+page footprint, because the preloaded library pages are the hot ones.
+Category fetch weights scale both burst sizes and revisit probability.
+"""
+
+from typing import Dict, List
+
+from repro.common.events import AccessEvent, AccessType, ifetch, load, store
+from repro.common.rng import DeterministicRng
+from repro.android.libraries import CodeCategory
+from repro.workloads.footprints import AppFootprint, _code_index
+
+#: Relative fetch intensity per code category, calibrated so the fetch
+#: breakdown lands near Figure 3's averages (zygote DSOs 61%, Java 11%,
+#: other DSOs 26%, binary/private the remainder).
+CATEGORY_FETCH_WEIGHT: Dict[CodeCategory, float] = {
+    CodeCategory.ZYGOTE_DSO: 3.2,
+    CodeCategory.ZYGOTE_JAVA: 0.55,
+    CodeCategory.ZYGOTE_BINARY: 1.0,
+    CodeCategory.OTHER_DSO: 1.7,
+    CodeCategory.PRIVATE: 0.45,
+}
+
+#: Base instructions per page burst.
+BASE_BURST = 2000
+#: Cache lines touched per code-page burst.
+CODE_LINES = 10
+
+
+def fetch_weights_for(runtime, footprint: AppFootprint) -> List[float]:
+    """Per-page fetch weight for every page in ``footprint.all_code``."""
+    index = _code_index(runtime)
+    weights = []
+    for addr in footprint.all_code:
+        hit = index.lookup(addr)
+        category = hit[0] if hit else CodeCategory.PRIVATE
+        weights.append(CATEGORY_FETCH_WEIGHT[category])
+    return weights
+
+
+def build_app_trace(
+    runtime,
+    footprint: AppFootprint,
+    rng: DeterministicRng,
+    revisit_passes: int = 2,
+    base_burst: int = BASE_BURST,
+) -> List[AccessEvent]:
+    """The full execution trace of one app run.
+
+    Structure: early GOT writes (data-segment binding), then a
+    first-touch pass over the whole footprint in randomised order with
+    data reads and heap writes interleaved, then ``revisit_passes``
+    weighted revisit passes over the code (hot pages re-fetched more).
+    """
+    events: List[AccessEvent] = []
+    code = footprint.all_code
+    weights = fetch_weights_for(runtime, footprint)
+
+    # 1. Library data binding: writes into preloaded data segments.
+    events.extend(store(addr) for addr in footprint.lib_data_writes)
+
+    # 2. First-touch pass, interleaving code/data/heap deterministically.
+    order = list(range(len(code)))
+    rng.fork("first-touch").shuffle(order)
+    data_iter = iter(sorted(footprint.file_data))
+    own_iter = iter(sorted(footprint.own_file_pages))
+    heap_iter = iter(sorted(footprint.heap_writes))
+    burst_rng = rng.fork("bursts")
+    for position, page_index in enumerate(order):
+        burst = max(64, int(base_burst * weights[page_index]
+                            * burst_rng.uniform(0.7, 1.3)))
+        events.append(ifetch(code[page_index], count=burst,
+                             lines=CODE_LINES))
+        if position % 3 == 0:
+            addr = next(data_iter, None)
+            if addr is not None:
+                events.append(load(addr, lines=3))
+        if position % 4 == 0:
+            addr = next(own_iter, None)
+            if addr is not None:
+                events.append(load(addr, lines=3))
+        addr = next(heap_iter, None)
+        if addr is not None:
+            events.append(store(addr, lines=4))
+    # Drain whatever the interleave did not cover.
+    events.extend(load(addr, lines=3) for addr in data_iter)
+    events.extend(load(addr, lines=3) for addr in own_iter)
+    events.extend(store(addr, lines=4) for addr in heap_iter)
+
+    # 3. Weighted revisit passes (steady-state execution).
+    revisit_rng = rng.fork("revisit")
+    for _ in range(revisit_passes):
+        picks = revisit_rng.choices(
+            range(len(code)), weights=weights, k=len(code)
+        )
+        for page_index in picks:
+            burst = max(64, int(base_burst * weights[page_index]))
+            events.append(ifetch(code[page_index], count=burst,
+                                 lines=CODE_LINES))
+
+    # 4. Kernel service time (I/O paths), sized so the user/kernel
+    #    instruction split lands near the profile's Table 1 fraction.
+    _inject_kernel_service(events, footprint.profile.user_fraction,
+                           rng.fork("kernel"))
+    return events
+
+
+#: Kernel I/O path region (mirrors KernelPath.IO in the engine; kept as
+#: literals to avoid importing the kernel from the workload layer).
+_IO_PATH_BASE = 0xC014_0000
+_IO_PATH_PAGES = 8
+
+
+def _inject_kernel_service(events: List[AccessEvent],
+                           user_fraction: float,
+                           rng: DeterministicRng) -> None:
+    """Interleave kernel-mode bursts to hit the Table 1 split.
+
+    Only the syscall service time is injected here; page-fault kernel
+    instructions come out of the fault handler at run time and add on
+    top (they are the part the paper's mechanism eliminates).
+    """
+    user_instructions = sum(
+        e.count for e in events if e.access is AccessType.IFETCH
+    )
+    kernel_target = int(
+        user_instructions * (1.0 - user_fraction) / max(user_fraction, 0.01)
+    )
+    if kernel_target <= 0:
+        return
+    chunk = max(500, kernel_target // max(1, len(events) // 12))
+    injected: List[AccessEvent] = []
+    remaining = kernel_target
+    page = 0
+    while remaining > 0:
+        count = min(chunk, remaining)
+        addr = _IO_PATH_BASE + (page % _IO_PATH_PAGES) * 4096
+        injected.append(AccessEvent(AccessType.IFETCH, addr, count=count,
+                                    lines=12, kernel=True))
+        remaining -= count
+        page += 1
+    # Spread the kernel bursts through the trace deterministically.
+    stride = max(1, len(events) // (len(injected) + 1))
+    for position, event in enumerate(injected):
+        events.insert(min(len(events), (position + 1) * stride + position),
+                      event)
+
+
+def build_ipc_burst(code_pages: List[int], burst: int = 150,
+                    lines: int = 6) -> List[AccessEvent]:
+    """One IPC invocation's instruction burst over a fixed page set."""
+    return [ifetch(addr, count=burst, lines=lines) for addr in code_pages]

@@ -1,0 +1,81 @@
+"""Whole-kernel consistency checks used by the property-based tests.
+
+These verify the bookkeeping invariants that the shared-PTP protocol
+must preserve no matter which operation sequence runs:
+
+1. every PTP frame's ``mapcount`` equals the number of level-1 slots —
+   across *all* live address spaces — that reference it (the sharer
+   count the paper's protocol relies on);
+2. every valid PTE points at a live frame, and every data frame's
+   ``mapcount`` equals the number of valid PTEs mapping it (counting
+   each physical PTP once, however many spaces share it);
+3. a PTP marked ``NEED_COPY`` contains no user-writable PTEs (COW
+   protection: the write-protect pass must never be bypassed), unless
+   the x86-style level-1 write-protect ablation is active;
+4. a PTP is marked shared in one sharer iff it is marked in all.
+"""
+
+from collections import Counter as TallyCounter
+
+from repro.hw.memory import FrameKind
+from repro.hw.pagetable import Pte
+from repro.kernel.kernel import Kernel
+from repro.kernel.task import TaskState
+
+
+def check_kernel_invariants(kernel: Kernel) -> None:
+    live_tasks = [t for t in kernel.tasks.values()
+                  if t.state is not TaskState.EXITED]
+
+    ptp_refs = TallyCounter()
+    data_refs = TallyCounter()
+    seen_ptps = {}
+    need_copy_state = {}
+
+    for task in live_tasks:
+        for slot_index, slot in task.mm.tables.populated_slots():
+            ptp = slot.ptp
+            ptp_refs[ptp.frame.pfn] += 1
+            previous = need_copy_state.get(ptp.frame.pfn)
+            if previous is not None:
+                assert previous == slot.need_copy, (
+                    f"PTP {ptp.frame.pfn}: inconsistent NEED_COPY across "
+                    f"sharers"
+                )
+            need_copy_state[ptp.frame.pfn] = slot.need_copy
+            if ptp.frame.pfn in seen_ptps:
+                continue
+            seen_ptps[ptp.frame.pfn] = ptp
+
+            writable_found = False
+            for index, pte in ptp.iter_valid():
+                pfn = Pte.pfn(pte)
+                frame = kernel.memory.frame(pfn)  # Raises if dead.
+                data_refs[pfn] += 1
+                if Pte.is_writable(pte):
+                    writable_found = True
+            if slot.need_copy and not (
+                    kernel.config.x86_style_l1_write_protect):
+                assert not writable_found, (
+                    f"shared PTP {ptp.frame.pfn} holds a writable PTE"
+                )
+
+    # Invariant 1: PTP sharer counts.
+    for pfn, expected in ptp_refs.items():
+        frame = kernel.memory.frame(pfn)
+        assert frame.kind is FrameKind.PTP
+        assert frame.mapcount == expected, (
+            f"PTP {pfn}: mapcount {frame.mapcount} != {expected} slots"
+        )
+
+    # Invariant 2: data-frame mapping counts.
+    for pfn, expected in data_refs.items():
+        frame = kernel.memory.frame(pfn)
+        if frame is kernel.zero_frame:
+            # The zero frame holds one permanent extra reference.
+            assert frame.mapcount == expected + 1
+        else:
+            assert frame.mapcount == expected, (
+                f"frame {pfn} ({frame.kind}): mapcount "
+                f"{frame.mapcount} != {expected} PTEs"
+            )

@@ -1,0 +1,146 @@
+"""The Section 2 analyses on controlled synthetic inputs."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.android.libraries import CodeCategory
+from repro.analysis.footprint import (
+    CategoryBreakdown,
+    average_fraction,
+    fetch_breakdown,
+    instruction_page_breakdown,
+)
+from repro.analysis.overlap import pairwise_overlap
+from repro.analysis.sparsity import sparsity_analysis
+from repro.workloads.profiles import APP_PROFILES
+from repro.workloads.session import probe_app
+from tests.conftest import make_small_runtime
+
+
+class TestCategoryBreakdown:
+    def test_fractions_sum_to_one(self):
+        row = CategoryBreakdown(app="x", values={
+            CodeCategory.ZYGOTE_DSO: 60.0,
+            CodeCategory.PRIVATE: 40.0,
+        })
+        assert row.fraction(CodeCategory.ZYGOTE_DSO) == 0.6
+        assert row.shared_fraction == 0.6
+        assert row.zygote_preloaded_fraction == 0.6
+
+    def test_empty_breakdown_safe(self):
+        row = CategoryBreakdown(app="x", values={})
+        assert row.fraction(CodeCategory.PRIVATE) == 0.0
+
+    def test_average_fraction(self):
+        rows = [
+            CategoryBreakdown("a", {CodeCategory.PRIVATE: 1.0}),
+            CategoryBreakdown("b", {CodeCategory.ZYGOTE_DSO: 1.0}),
+        ]
+        assert average_fraction(rows, CodeCategory.PRIVATE) == 0.5
+
+
+class TestBreakdownsOnRuntime:
+    def setup_method(self):
+        self.runtime = make_small_runtime()
+        names = ["Angrybirds", "Email", "WPS"]
+        self.probes = [
+            probe_app(self.runtime, APP_PROFILES[name],
+                      DeterministicRng(50, name))
+            for name in names
+        ]
+
+    def test_page_breakdown_totals(self):
+        rows = instruction_page_breakdown(self.probes)
+        for row, probe in zip(rows, self.probes):
+            assert row.total == probe.total_instruction_pages
+
+    def test_shared_code_dominates(self):
+        """The paper's ~93%-of-pages / ~98%-of-fetches shape."""
+        pages = instruction_page_breakdown(self.probes)
+        fetches = fetch_breakdown(self.probes)
+        for row in pages:
+            assert row.shared_fraction > 0.85
+        for page_row, fetch_row in zip(pages, fetches):
+            assert fetch_row.shared_fraction > page_row.shared_fraction
+
+
+class TestOverlap:
+    def test_self_overlap_bounded_by_preloaded_share(self):
+        runtime = make_small_runtime()
+        probes = [
+            probe_app(runtime, APP_PROFILES[name],
+                      DeterministicRng(50, name))
+            for name in ("Angrybirds", "Email")
+        ]
+        matrix = pairwise_overlap(probes)
+        a = probes[0].profile.name
+        pre, all_ = matrix.cell(a, a)
+        assert pre <= all_ <= 100.0
+
+    def test_matrix_row_normalisation(self):
+        """Cells are % of the ROW app's footprint, hence asymmetric."""
+        runtime = make_small_runtime()
+        probes = [
+            probe_app(runtime, APP_PROFILES[name],
+                      DeterministicRng(50, name))
+            for name in ("Adobe Reader", "Email")
+        ]
+        matrix = pairwise_overlap(probes)
+        ab = matrix.preloaded[("Adobe Reader", "Email")]
+        ba = matrix.preloaded[("Email", "Adobe Reader")]
+        # Email is much smaller, so its row percentage is larger.
+        assert ba > ab
+
+    def test_averages_exclude_diagonal(self):
+        runtime = make_small_runtime()
+        probes = [
+            probe_app(runtime, APP_PROFILES[name],
+                      DeterministicRng(50, name))
+            for name in ("Angrybirds", "Email")
+        ]
+        matrix = pairwise_overlap(probes)
+        off_diagonal = [
+            value for (row, col), value in matrix.preloaded.items()
+            if row != col
+        ]
+        assert matrix.average_preloaded == pytest.approx(
+            sum(off_diagonal) / len(off_diagonal)
+        )
+
+
+class TestSparsity:
+    def test_dense_region_no_waste(self):
+        # 16 consecutive pages = one full 64KB chunk.
+        pages = [0x40000000 + i * 4096 for i in range(16)]
+        result = sparsity_analysis({"dense": pages})
+        app = result.per_app[0]
+        assert app.chunks_64k == 1
+        assert app.untouched_per_chunk == [0]
+        assert app.memory_ratio == pytest.approx(1.0)
+
+    def test_sparse_region_wastes_memory(self):
+        # One page per 64KB chunk: 15 of 16 wasted, ratio 16x.
+        pages = [0x40000000 + i * 65536 for i in range(8)]
+        result = sparsity_analysis({"sparse": pages})
+        app = result.per_app[0]
+        assert app.memory_ratio == pytest.approx(16.0)
+        assert app.fraction_with_at_least(15) == 1.0
+
+    def test_union_merges_apps(self):
+        a = [0x40000000]
+        b = [0x40000000 + 4096]
+        result = sparsity_analysis({"a": a, "b": b})
+        assert result.union.accessed_4k_pages == 2
+        assert result.union.chunks_64k == 1
+        assert result.union.untouched_per_chunk == [14]
+
+    def test_average_memory_ratio(self):
+        result = sparsity_analysis({
+            "dense": [0x40000000 + i * 4096 for i in range(16)],
+            "sparse": [0x50000000],
+        })
+        assert result.average_memory_ratio == pytest.approx((1 + 16) / 2)
+
+    def test_sub_page_addresses_normalised(self):
+        result = sparsity_analysis({"x": [0x40000001, 0x40000FFF]})
+        assert result.per_app[0].accessed_4k_pages == 1

@@ -1,0 +1,163 @@
+"""The library catalog and the loader's two layout modes."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE, PTP_SPAN, ptp_index
+from repro.android.catalog import AndroidCatalog, CatalogSpec
+from repro.android.layout import LayoutMode, LibraryLayout
+from repro.android.libraries import (
+    CodeCategory,
+    SegmentKind,
+    SharedLibrary,
+    VmaTag,
+    private_code_library,
+)
+from tests.conftest import make_kernel
+
+
+class TestCatalog:
+    def setup_method(self):
+        self.catalog = AndroidCatalog()
+
+    def test_88_preloaded_dsos(self):
+        assert len(self.catalog.preloaded_dsos) == 88
+
+    def test_dso_code_total_exact(self):
+        assert self.catalog.dso_code_pages == (
+            self.catalog.spec.dso_code_pages_total
+        )
+
+    def test_every_dso_has_code_and_data(self):
+        for lib in self.catalog.preloaded_dsos:
+            assert lib.code_pages >= 1
+            assert lib.data_pages >= 1
+            assert lib.category is CodeCategory.ZYGOTE_DSO
+
+    def test_size_range_matches_paper(self):
+        """The paper: preloaded libraries range from 4KB to ~tens of MB."""
+        sizes = [lib.code_pages for lib in self.catalog.preloaded_dsos]
+        assert min(sizes) == 1
+        assert max(sizes) >= 1000
+
+    def test_deterministic(self):
+        again = AndroidCatalog()
+        assert [lib.name for lib in again.preloaded_dsos] == [
+            lib.name for lib in self.catalog.preloaded_dsos
+        ]
+        assert [lib.code_pages for lib in again.preloaded_dsos] == [
+            lib.code_pages for lib in self.catalog.preloaded_dsos
+        ]
+
+    def test_special_objects(self):
+        assert self.catalog.boot_oat.category is CodeCategory.ZYGOTE_JAVA
+        assert self.catalog.boot_art.is_resource
+        assert self.catalog.app_process.category is (
+            CodeCategory.ZYGOTE_BINARY
+        )
+        assert len(self.catalog.resources) == 4
+        assert len(self.catalog.platform_dsos) == 20
+
+    def test_lookup_by_name(self):
+        assert self.catalog.preloaded_by_name("libbinder.so").code_pages == 50
+        with pytest.raises(KeyError):
+            self.catalog.preloaded_by_name("libnothere.so")
+
+    def test_app_dso_factory(self):
+        lib = AndroidCatalog.make_app_dso("My App", 0, 40)
+        assert lib.category is CodeCategory.OTHER_DSO
+        assert lib.code_pages == 40
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AndroidCatalog(CatalogSpec(num_preloaded_dsos=5))
+
+
+class TestLibraryModel:
+    def test_invalid_libraries_rejected(self):
+        with pytest.raises(ValueError):
+            SharedLibrary("x", CodeCategory.ZYGOTE_DSO, 0, 0)
+        with pytest.raises(ValueError):
+            SharedLibrary("x", CodeCategory.ZYGOTE_DSO, 4, 1,
+                          is_resource=True)
+        with pytest.raises(ValueError):
+            SharedLibrary("x", CodeCategory.ZYGOTE_DSO, -1, 1)
+
+    def test_category_predicates(self):
+        assert CodeCategory.ZYGOTE_DSO.is_zygote_preloaded
+        assert CodeCategory.ZYGOTE_JAVA.is_shared_code
+        assert not CodeCategory.OTHER_DSO.is_zygote_preloaded
+        assert not CodeCategory.PRIVATE.is_shared_code
+
+    def test_vma_tag(self):
+        lib = private_code_library("app", 10)
+        tag = VmaTag(library=lib, segment=SegmentKind.CODE)
+        assert tag.is_instruction_segment
+        assert tag.category is CodeCategory.PRIVATE
+
+
+class TestLayoutModes:
+    def map_lib(self, mode, code_pages=300, data_pages=8):
+        kernel = make_kernel("shared-ptp")
+        task = kernel.create_process("proc")
+        layout = LibraryLayout(kernel, mode)
+        lib = SharedLibrary("libx.so", CodeCategory.ZYGOTE_DSO,
+                            code_pages, data_pages)
+        return layout.map_library(task, lib), task, layout, kernel
+
+    def test_original_packs_data_after_code(self):
+        mapped, *_ = self.map_lib(LayoutMode.ORIGINAL)
+        assert mapped.data_vma.start == mapped.code_vma.end
+
+    def test_original_small_lib_shares_slot(self):
+        mapped, *_ = self.map_lib(LayoutMode.ORIGINAL, code_pages=16,
+                                  data_pages=4)
+        assert ptp_index(mapped.code_start) == ptp_index(mapped.data_start)
+
+    def test_2mb_mode_separates_code_and_data_slots(self):
+        mapped, *_ = self.map_lib(LayoutMode.ALIGNED_2MB, code_pages=16,
+                                  data_pages=4)
+        assert mapped.code_start % PTP_SPAN == 0
+        assert ptp_index(mapped.code_start) != ptp_index(mapped.data_start)
+
+    def test_2mb_mode_code_never_shares_slot_with_any_data(self):
+        kernel = make_kernel("shared-ptp")
+        task = kernel.create_process("proc")
+        layout = LibraryLayout(kernel, LayoutMode.ALIGNED_2MB)
+        code_slots, data_slots = set(), set()
+        for index in range(6):
+            lib = SharedLibrary(f"lib{index}.so", CodeCategory.ZYGOTE_DSO,
+                                20 + index * 30, 4)
+            mapped = layout.map_library(task, lib)
+            for addr in range(mapped.code_vma.start, mapped.code_vma.end,
+                              PAGE_SIZE):
+                code_slots.add(ptp_index(addr))
+            for addr in range(mapped.data_vma.start, mapped.data_vma.end,
+                              PAGE_SIZE):
+                data_slots.add(ptp_index(addr))
+        assert not code_slots & data_slots
+
+    def test_file_objects_shared_across_tasks(self):
+        kernel = make_kernel("shared-ptp")
+        layout = LibraryLayout(kernel, LayoutMode.ORIGINAL)
+        lib = SharedLibrary("libshared.so", CodeCategory.ZYGOTE_DSO, 8, 2)
+        a = layout.map_library(kernel.create_process("a"), lib)
+        b = layout.map_library(kernel.create_process("b"), lib)
+        assert a.file is b.file
+
+    def test_resource_maps_as_single_readonly_vma(self):
+        kernel = make_kernel("shared-ptp")
+        task = kernel.create_process("proc")
+        layout = LibraryLayout(kernel, LayoutMode.ORIGINAL)
+        resource = SharedLibrary("res.apk", CodeCategory.ZYGOTE_JAVA, 0,
+                                 100, is_resource=True)
+        mapped = layout.map_library(task, resource)
+        assert mapped.code_vma is None
+        assert not mapped.data_vma.prot.writable
+        assert mapped.data_vma.tag.segment is SegmentKind.RESOURCE
+
+    def test_segment_protections(self):
+        mapped, *_ = self.map_lib(LayoutMode.ORIGINAL)
+        assert mapped.code_vma.prot.executable
+        assert not mapped.code_vma.prot.writable
+        assert mapped.data_vma.prot.writable
+        assert not mapped.data_vma.prot.executable

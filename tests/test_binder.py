@@ -1,0 +1,95 @@
+"""The binder IPC microbenchmark."""
+
+import pytest
+
+from repro.android.binder import BinderBenchmark, BinderConfig
+from tests.conftest import make_small_runtime
+
+
+def small_config(**overrides):
+    defaults = dict(invocations=20, warmup_invocations=3,
+                    binder_pages=10, server_framework_pages=4,
+                    client_private_pages=6, server_private_pages=12,
+                    noise_every=4, noise_pages=8, noise_colliding_pages=4)
+    defaults.update(overrides)
+    return BinderConfig(**defaults)
+
+
+class TestSetup:
+    def test_processes_created_and_pinned(self):
+        runtime = make_small_runtime("shared-ptp-tlb")
+        bench = BinderBenchmark(runtime, config=small_config())
+        bench.setup()
+        assert bench.client.is_zygote_child
+        assert bench.server.is_zygote_child
+        assert not bench.noise.is_zygote_like
+        assert bench.client.pinned_core == 0
+        assert bench.server.pinned_core == 0
+
+    def test_binder_pages_identical_for_both_sides(self):
+        runtime = make_small_runtime("shared-ptp-tlb")
+        bench = BinderBenchmark(runtime, config=small_config())
+        bench.setup()
+        client_pages = {e.vaddr for e in bench._client_trace}
+        server_pages = {e.vaddr for e in bench._server_trace}
+        binder_pages = set(bench._lib_pages("libbinder.so",
+                                            small_config().binder_pages))
+        # The libbinder pages appear at the same virtual addresses on
+        # both sides (inherited from the zygote).  Note that the two
+        # sides' *private* libraries also alias by VA — both children
+        # inherit the same layout — but those map different frames.
+        assert binder_pages <= client_pages
+        assert binder_pages <= server_pages
+
+
+class TestRun:
+    def test_measurement_fields(self):
+        runtime = make_small_runtime("shared-ptp-tlb")
+        result = BinderBenchmark(runtime, config=small_config()).run()
+        for side in (result.client, result.server):
+            assert side.cycles > 0
+            assert side.instructions > 0
+            assert side.itlb_stall >= 0
+        assert result.context_switches >= 40  # 2 per invocation.
+
+    def test_warmup_excluded_from_measurement(self):
+        runtime = make_small_runtime("shared-ptp-tlb")
+        bench = BinderBenchmark(runtime, config=small_config())
+        result = bench.run()
+        # Post-warmup there are no file-backed faults left to take.
+        assert result.client.file_backed_faults == 0
+        assert result.server.file_backed_faults == 0
+
+    def test_tlb_sharing_reduces_stalls_without_asid(self):
+        """The Figure 13 headline, at test scale."""
+        stalls = {}
+        for config_name in ("stock", "shared-ptp-tlb"):
+            runtime = make_small_runtime(config_name, asid_enabled=False)
+            result = BinderBenchmark(runtime, config=small_config(
+                invocations=40)).run()
+            stalls[config_name] = (result.client.itlb_stall,
+                                   result.server.itlb_stall)
+        assert stalls["shared-ptp-tlb"][0] < stalls["stock"][0]
+        assert stalls["shared-ptp-tlb"][1] < stalls["stock"][1]
+
+    def test_noise_daemon_takes_domain_faults_only_with_sharing(self):
+        for config_name, expect_faults in (("stock", False),
+                                           ("shared-ptp-tlb", True)):
+            runtime = make_small_runtime(config_name)
+            bench = BinderBenchmark(runtime, config=small_config(
+                invocations=30))
+            bench.run()
+            if expect_faults:
+                assert bench.noise.counters.domain_faults > 0
+            else:
+                assert bench.noise.counters.domain_faults == 0
+
+    def test_client_and_server_make_progress_under_domain_faults(self):
+        runtime = make_small_runtime("shared-ptp-tlb")
+        bench = BinderBenchmark(runtime, config=small_config())
+        result = bench.run()
+        expected = (small_config().invocations
+                    * small_config().binder_pages)
+        assert result.client.instructions > 0
+        # The noise daemon's own run never disturbs correctness.
+        assert bench.noise.counters.total_faults >= 0

@@ -1,0 +1,145 @@
+"""Cache models: geometry, LRU, hierarchy stall accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.cost import CostModel
+from repro.common.errors import ConfigError
+from repro.hw.cache import (
+    Cache,
+    CacheHierarchy,
+    make_l1_dcache,
+    make_l1_icache,
+    make_l2_cache,
+)
+
+
+def small_hierarchy():
+    cost = CostModel()
+    l1i = Cache("L1-I", 1024, 2)  # 16 sets x 2 ways x 32B.
+    l1d = Cache("L1-D", 1024, 2)
+    l2 = Cache("L2", 4096, 4)
+    return CacheHierarchy(l1i, l1d, l2, cost), cost
+
+
+class TestCacheBasics:
+    def test_geometry(self):
+        cache = Cache("t", 1024, 2)
+        assert cache.num_sets == 16
+        with pytest.raises(ConfigError):
+            Cache("bad", 1000, 3)
+
+    def test_hit_after_fill(self):
+        cache = Cache("t", 1024, 2)
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_different_bytes(self):
+        cache = Cache("t", 1024, 2)
+        cache.access(0x1000)
+        assert cache.access(0x101F) is True   # Same 32B line.
+        assert cache.access(0x1020) is False  # Next line.
+
+    def test_lru_eviction(self):
+        cache = Cache("t", 1024, 2)  # 16 sets.
+        set_stride = 16 * 32  # Same-set addresses.
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)       # a MRU.
+        cache.access(c)       # Evicts b.
+        assert cache.stats.evictions == 1
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_contains_does_not_touch_stats(self):
+        cache = Cache("t", 1024, 2)
+        cache.access(0)
+        hits = cache.stats.hits
+        assert cache.contains(0)
+        assert not cache.contains(0x2000)
+        assert cache.stats.hits == hits
+
+    def test_flush(self):
+        cache = Cache("t", 1024, 2)
+        cache.access(0)
+        cache.flush()
+        assert cache.occupancy() == 0
+
+    def test_default_geometries(self):
+        assert make_l1_icache().num_sets == 32 * 1024 // (4 * 32)
+        assert make_l1_dcache().num_sets == 32 * 1024 // (4 * 32)
+        assert make_l2_cache().num_sets == 1024 * 1024 // (8 * 32)
+
+
+class TestHierarchyStalls:
+    def test_miss_both_levels_costs_memory(self):
+        h, cost = small_hierarchy()
+        assert h.fetch(0x5000) == cost.memory_stall
+
+    def test_l2_hit_after_l1_eviction(self):
+        h, cost = small_hierarchy()
+        h.fetch(0x0)
+        # Evict from L1 (2 ways, same set) while L2 (4 ways) retains.
+        h.fetch(0x200)
+        h.fetch(0x400)
+        assert h.fetch(0x0) == cost.l2_hit_stall
+
+    def test_l1_hit_is_free(self):
+        h, _ = small_hierarchy()
+        h.fetch(0x5000)
+        assert h.fetch(0x5000) == 0
+
+    def test_instruction_and_data_sides_are_separate(self):
+        h, cost = small_hierarchy()
+        h.fetch(0x5000)
+        # Data access to the same line: L1-D misses but L2 hits.
+        assert h.load_store(0x5000) == cost.l2_hit_stall
+
+    def test_walk_read_uses_data_side(self):
+        h, _ = small_hierarchy()
+        h.walk_read(0x7000)
+        assert h.l1d.stats.misses == 1
+        assert h.l1i.stats.misses == 0
+
+
+class TestRunPrimitives:
+    def test_fetch_run_equals_individual_fetches(self):
+        h1, _ = small_hierarchy()
+        h2, _ = small_hierarchy()
+        base = 0x3000
+        individual = sum(h1.fetch(base + i * 32) for i in range(40))
+        batched = h2.fetch_run(base, 40)
+        assert batched == individual
+        assert h1.l1i.stats.misses == h2.l1i.stats.misses
+        assert h1.l2.stats.misses == h2.l2.stats.misses
+
+    def test_data_run_equals_individual_accesses(self):
+        h1, _ = small_hierarchy()
+        h2, _ = small_hierarchy()
+        individual = sum(h1.load_store(0x9000 + i * 32) for i in range(17))
+        assert h2.data_run(0x9000, 17) == individual
+
+    @given(st.integers(min_value=0, max_value=1 << 20),
+           st.integers(min_value=1, max_value=128))
+    def test_fetch_run_matches_reference(self, base_line, nlines):
+        base = base_line * 32
+        h1, _ = small_hierarchy()
+        h2, _ = small_hierarchy()
+        expected = sum(h1.fetch(base + i * 32) for i in range(nlines))
+        assert h2.fetch_run(base, nlines) == expected
+
+
+class TestSharedL2:
+    def test_two_cores_share_l2_lines(self):
+        cost = CostModel()
+        l2 = Cache("L2", 4096, 4)
+        core_a = CacheHierarchy(Cache("a-i", 1024, 2), Cache("a-d", 1024, 2),
+                                l2, cost)
+        core_b = CacheHierarchy(Cache("b-i", 1024, 2), Cache("b-d", 1024, 2),
+                                l2, cost)
+        assert core_a.fetch(0x8000) == cost.memory_stall
+        # Core B misses its private L1 but hits the shared L2.
+        assert core_b.fetch(0x8000) == cost.l2_hit_stall

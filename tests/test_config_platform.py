@@ -1,0 +1,152 @@
+"""Kernel configuration, cost model, platform assembly, CPU stats."""
+
+import pytest
+
+from repro.common.cost import CostModel, DEFAULT_COST_MODEL
+from repro.common.errors import ConfigError
+from repro.hw.cpu import Core, CycleStats
+from repro.hw.platform import HardwareConfig, Platform
+from repro.kernel.config import (
+    ForkPolicy,
+    KernelConfig,
+    copy_pte_config,
+    shared_ptp_config,
+    shared_ptp_tlb_config,
+    stock_config,
+)
+
+
+class TestKernelConfig:
+    def test_factories(self):
+        assert stock_config().fork_policy is ForkPolicy.STOCK
+        assert copy_pte_config().fork_policy is ForkPolicy.COPY_PTE
+        assert shared_ptp_config().shares_ptps
+        assert shared_ptp_tlb_config().share_tlb
+
+    def test_with_returns_modified_copy(self):
+        base = stock_config()
+        modified = base.with_(asid_enabled=False)
+        assert base.asid_enabled and not modified.asid_enabled
+
+    def test_invalid_combination_tlb_on_copy_pte(self):
+        config = copy_pte_config().with_(share_tlb=True)
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_referenced_only_requires_shared(self):
+        config = stock_config().with_(unshare_copy_referenced_only=True)
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_default_validates(self):
+        KernelConfig().validate()
+
+
+class TestCostModel:
+    def test_soft_fault_anchor(self):
+        """The paper's LMbench measurement: ~2,700 cycles per soft
+        fault on the Nexus 7."""
+        assert DEFAULT_COST_MODEL.soft_fault_total == pytest.approx(
+            2700, rel=0.05
+        )
+
+    def test_fork_ordering_of_constants(self):
+        cost = CostModel()
+        assert cost.ptp_share_ref < cost.ptp_alloc
+        assert cost.pte_write_protect < cost.pte_copy
+
+    def test_memory_slower_than_l2(self):
+        cost = CostModel()
+        assert cost.memory_stall > cost.l2_hit_stall > 0
+
+
+class TestPlatform:
+    def test_default_is_nexus7_shaped(self):
+        platform = Platform()
+        assert len(platform.cores) == 4
+        assert platform.cores[0].main_tlb.num_sets * 2 == 128
+        assert platform.shared_l2.num_sets == 1024 * 1024 // (8 * 32)
+        # All cores share one L2.
+        assert all(core.caches.l2 is platform.shared_l2
+                   for core in platform.cores)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            Platform(HardwareConfig(num_cores=0))
+        with pytest.raises(ConfigError):
+            Platform(HardwareConfig(main_tlb_entries=127))
+
+    def test_flush_all_tlbs(self):
+        platform = Platform()
+        from repro.hw.tlb import TlbEntry
+        platform.cores[2].main_tlb.insert(TlbEntry(
+            vpn=1, asid=1, pfn=1, writable=False, global_=False, domain=1))
+        platform.flush_all_tlbs()
+        assert platform.cores[2].main_tlb.occupancy() == 0
+
+    def test_flush_va_across_cores(self):
+        platform = Platform()
+        from repro.hw.tlb import TlbEntry
+        for core in platform.cores[:2]:
+            core.main_tlb.insert(TlbEntry(
+                vpn=7, asid=1, pfn=1, writable=False, global_=True,
+                domain=1))
+        assert platform.flush_tlb_va_all_cores(7) == 2
+
+
+class TestCycleStats:
+    def test_charge_accumulates_total(self):
+        stats = CycleStats()
+        stats.charge("l1i_stall", 10)
+        stats.charge("fault_overhead", 5)
+        assert stats.l1i_stall == 10
+        assert stats.total_cycles == 15
+
+    def test_charge_instructions(self):
+        stats = CycleStats()
+        stats.charge_instructions(100, cpi=1.5)
+        stats.charge_instructions(50, cpi=1.5, kernel=True)
+        assert stats.instructions == 150
+        assert stats.kernel_instructions == 50
+        assert stats.total_cycles == pytest.approx(225)
+
+    def test_snapshot_isolated(self):
+        stats = CycleStats()
+        stats.charge("l1i_stall", 1)
+        snap = stats.snapshot()
+        stats.charge("l1i_stall", 2)
+        assert snap.l1i_stall == 1
+
+    def test_delta_since(self):
+        stats = CycleStats()
+        stats.charge_instructions(10, cpi=1.0)
+        snap = stats.snapshot()
+        stats.charge_instructions(5, cpi=1.0)
+        delta = stats.delta_since(snap)
+        assert delta.instructions == 5
+        assert delta.total_cycles == pytest.approx(5)
+
+
+class TestCoreTlbMaintenance:
+    def test_flush_tlb_asid_clears_micro_fully(self):
+        platform = Platform()
+        core = platform.cores[0]
+        from repro.hw.tlb import TlbEntry
+        entry = TlbEntry(vpn=1, asid=3, pfn=1, writable=False,
+                         global_=False, domain=1)
+        core.main_tlb.insert(entry)
+        core.micro_itlb.insert(entry)
+        flushed = core.flush_tlb_asid(3)
+        assert flushed == 1
+        assert core.micro_itlb.occupancy() == 0
+
+    def test_flush_tlb_va_covers_all_structures(self):
+        platform = Platform()
+        core = platform.cores[0]
+        from repro.hw.tlb import TlbEntry
+        entry = TlbEntry(vpn=9, asid=1, pfn=1, writable=False,
+                         global_=True, domain=1)
+        core.main_tlb.insert(entry)
+        core.micro_itlb.insert(entry, key_vpn=9)
+        core.micro_dtlb.insert(entry, key_vpn=9)
+        assert core.flush_tlb_va(9) == 3

@@ -1,0 +1,86 @@
+"""Address-geometry helpers (repro.common.constants)."""
+
+import pytest
+
+from repro.common import constants as c
+
+
+class TestPageGeometry:
+    def test_page_size(self):
+        assert c.PAGE_SIZE == 4096
+        assert 1 << c.PAGE_SHIFT == c.PAGE_SIZE
+
+    def test_arm_sizes(self):
+        assert c.LARGE_PAGE_SIZE == 64 * 1024
+        assert c.SECTION_SIZE == 1024 * 1024
+        assert c.SUPERSECTION_SIZE == 16 * 1024 * 1024
+        assert c.PAGES_PER_LARGE_PAGE == 16
+
+    def test_table_geometry(self):
+        assert c.L1_ENTRIES == 4096
+        assert c.L2_ENTRIES == 256
+        # One PTP = two paired hardware tables = 2MB.
+        assert c.PTP_SPAN == 2 * 1024 * 1024
+        assert c.PTES_PER_PTP == 512
+        assert c.PTP_SLOTS * c.PTP_SPAN == 1 << 32
+
+    def test_address_split(self):
+        assert c.KERNEL_SPACE_START == 0xC0000000
+        assert c.USER_SPACE_END == c.KERNEL_SPACE_START
+
+
+class TestAlignmentHelpers:
+    def test_page_align_down(self):
+        assert c.page_align_down(0x1234) == 0x1000
+        assert c.page_align_down(0x1000) == 0x1000
+        assert c.page_align_down(0) == 0
+
+    def test_page_align_up(self):
+        assert c.page_align_up(0x1001) == 0x2000
+        assert c.page_align_up(0x1000) == 0x1000
+        assert c.page_align_up(1) == 0x1000
+
+    def test_align_up_power_of_two(self):
+        assert c.align_up(5, 8) == 8
+        assert c.align_up(8, 8) == 8
+        assert c.align_up(0x200001, c.PTP_SPAN) == 0x400000
+
+    def test_page_number(self):
+        assert c.page_number(0) == 0
+        assert c.page_number(0x1FFF) == 1
+        assert c.page_number(0xC0000000) == 0xC0000
+
+
+class TestPtpIndexing:
+    def test_ptp_index_granularity(self):
+        assert c.ptp_index(0) == 0
+        assert c.ptp_index(c.PTP_SPAN - 1) == 0
+        assert c.ptp_index(c.PTP_SPAN) == 1
+
+    def test_ptp_base(self):
+        assert c.ptp_base(0x40123456) == 0x40000000
+        assert c.ptp_base(0x40200000) == 0x40200000
+
+    def test_pte_index_within_ptp(self):
+        assert c.pte_index(0x40000000) == 0
+        assert c.pte_index(0x40001000) == 1
+        # Last page of a 2MB slot.
+        assert c.pte_index(0x40000000 + c.PTP_SPAN - 1) == 511
+        # Wraps in the next slot.
+        assert c.pte_index(0x40000000 + c.PTP_SPAN) == 0
+
+    def test_addresses_in_same_ptp_share_index(self):
+        base = 0x40000000
+        assert c.ptp_index(base) == c.ptp_index(base + 0x1FFFFF)
+        assert c.ptp_index(base) != c.ptp_index(base + 0x200000)
+
+
+class TestUserAddressPredicate:
+    @pytest.mark.parametrize("addr,expected", [
+        (0, True),
+        (0xBFFFFFFF, True),
+        (0xC0000000, False),
+        (0xFFFFFFFF, False),
+    ])
+    def test_is_user_address(self, addr, expected):
+        assert c.is_user_address(addr) is expected

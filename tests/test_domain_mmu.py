@@ -1,0 +1,188 @@
+"""The domain model (DACR) and the MMU translation pipeline."""
+
+import pytest
+
+from repro.common.constants import (
+    DOMAIN_KERNEL,
+    DOMAIN_USER,
+    DOMAIN_ZYGOTE,
+    KERNEL_SPACE_START,
+    PAGE_SIZE,
+)
+from repro.common.errors import ConfigError
+from repro.common.events import AccessType
+from repro.common.perms import MapFlags, Prot
+from repro.hw.domain import Dacr, DomainAccess, stock_dacr, zygote_dacr
+from repro.hw.mmu import FaultKind
+from tests.conftest import make_kernel
+
+
+class TestDacr:
+    def test_default_no_access(self):
+        dacr = Dacr({})
+        assert dacr.access(5) == DomainAccess.NO_ACCESS
+        assert not dacr.grants(5)
+
+    def test_stock_dacr_grants_user_and_kernel(self):
+        dacr = stock_dacr()
+        assert dacr.grants(DOMAIN_KERNEL)
+        assert dacr.grants(DOMAIN_USER)
+        assert not dacr.grants(DOMAIN_ZYGOTE)
+
+    def test_zygote_dacr_adds_zygote_domain(self):
+        dacr = zygote_dacr()
+        assert dacr.access(DOMAIN_ZYGOTE) == DomainAccess.CLIENT
+
+    def test_with_access_is_pure(self):
+        base = stock_dacr()
+        modified = base.with_access(5, DomainAccess.MANAGER)
+        assert not base.grants(5)
+        assert modified.access(5) == DomainAccess.MANAGER
+
+    def test_out_of_range_domain_rejected(self):
+        with pytest.raises(ConfigError):
+            stock_dacr().access(16)
+        with pytest.raises(ConfigError):
+            Dacr({16: DomainAccess.CLIENT})
+
+    def test_equality(self):
+        assert stock_dacr() == stock_dacr()
+        assert stock_dacr() != zygote_dacr()
+
+
+class _MmuHarness:
+    """A kernel with one mapped task, for raw-MMU tests."""
+
+    def __init__(self, config_name="shared-ptp-tlb"):
+        self.kernel = make_kernel(config_name)
+        self.task = self.kernel.create_process("proc")
+        file = self.kernel.page_cache.create_file("lib", 16)
+        self.code = self.kernel.syscalls.mmap(
+            self.task, 16 * PAGE_SIZE, Prot.READ | Prot.EXEC,
+            MapFlags.PRIVATE, file=file,
+        )
+        self.core = self.kernel.schedule(self.task)
+        self.mmu = self.kernel.platform.mmu
+
+    def translate(self, vaddr, access=AccessType.IFETCH):
+        return self.mmu.translate(self.core, self.task, vaddr, access)
+
+
+class TestUserTranslation:
+    def test_unmapped_page_is_translation_fault(self):
+        h = _MmuHarness()
+        result = h.translate(h.code.start)
+        assert result.fault is FaultKind.TRANSLATION
+        assert result.walked
+
+    def test_translation_after_population(self):
+        h = _MmuHarness()
+        outcome = h.kernel.fault_handler.handle(
+            h.core, h.task, h.code.start, AccessType.IFETCH,
+            FaultKind.TRANSLATION,
+        )
+        assert outcome.kernel_instructions > 0
+        result = h.translate(h.code.start)
+        assert result.ok
+        assert result.walked  # First successful translation walks.
+        again = h.translate(h.code.start)
+        assert again.ok and again.micro_hit
+
+    def test_main_tlb_hit_after_micro_flush(self):
+        h = _MmuHarness()
+        h.kernel.fault_handler.handle(h.core, h.task, h.code.start,
+                                      AccessType.IFETCH,
+                                      FaultKind.TRANSLATION)
+        h.translate(h.code.start)
+        h.core.flush_micro_tlbs()
+        result = h.translate(h.code.start)
+        assert result.ok and result.main_hit and not result.micro_hit
+
+    def test_store_to_readonly_is_permission_fault(self):
+        h = _MmuHarness()
+        heap = h.kernel.syscalls.mmap(
+            h.task, PAGE_SIZE, Prot.READ | Prot.WRITE,
+            MapFlags.PRIVATE | MapFlags.ANONYMOUS,
+        )
+        # Read fault maps the zero page read-only.
+        h.kernel.fault_handler.handle(h.core, h.task, heap.start,
+                                      AccessType.LOAD,
+                                      FaultKind.TRANSLATION)
+        result = h.translate(heap.start, AccessType.STORE)
+        assert result.fault is FaultKind.PERMISSION
+
+    def test_walk_marks_referenced(self):
+        h = _MmuHarness()
+        h.kernel.fault_handler.handle(h.core, h.task, h.code.start,
+                                      AccessType.IFETCH,
+                                      FaultKind.TRANSLATION)
+        slot = h.task.mm.tables.slot_for(h.code.start)
+        slot.ptp.shadow[0] = 0  # Clear young.
+        h.core.flush_all_tlbs()
+        h.translate(h.code.start)
+        assert slot.ptp.is_young(0)
+
+    def test_translation_stall_charged_on_walk(self):
+        h = _MmuHarness()
+        h.kernel.fault_handler.handle(h.core, h.task, h.code.start,
+                                      AccessType.IFETCH,
+                                      FaultKind.TRANSLATION)
+        result = h.translate(h.code.start)
+        assert result.translation_stall >= h.kernel.cost.walk_base
+
+
+class TestDomainFaults:
+    def test_global_entry_denied_to_non_zygote(self):
+        """The confinement mechanism of Section 3.2.3."""
+        h = _MmuHarness("shared-ptp-tlb")
+        kernel = h.kernel
+        # Make the mapping zygote-owned and global.
+        zygote = kernel.create_process("zygote")
+        kernel.exec_zygote(zygote)
+        file = kernel.page_cache.create_file("libc", 8)
+        code = kernel.syscalls.mmap(zygote, 8 * PAGE_SIZE,
+                                    Prot.READ | Prot.EXEC,
+                                    MapFlags.PRIVATE, file=file)
+        assert code.global_
+        core = kernel.schedule(zygote)
+        kernel.run(zygote, [])
+        # Zygote faults the page in and loads a global TLB entry.
+        from repro.common.events import ifetch
+        kernel.run(zygote, [ifetch(code.start)])
+        entry = core.main_tlb.lookup(code.start >> 12, zygote.asid)
+        assert entry is not None and entry.global_
+        assert entry.domain == DOMAIN_ZYGOTE
+
+        # A non-zygote daemon mapping the same file at the same address
+        # matches the global entry but lacks domain rights.
+        daemon = kernel.create_process("daemon")
+        kernel.syscalls.mmap(daemon, 8 * PAGE_SIZE, Prot.READ | Prot.EXEC,
+                             MapFlags.PRIVATE, file=file, addr=code.start)
+        kernel.schedule(daemon)
+        result = kernel.platform.mmu.translate(
+            core, daemon, code.start, AccessType.IFETCH
+        )
+        assert result.fault is FaultKind.DOMAIN
+
+
+class TestKernelTranslation:
+    def test_kernel_address_translates_globally(self):
+        h = _MmuHarness()
+        vaddr = KERNEL_SPACE_START + 0x100000
+        result = h.translate(vaddr)
+        assert result.ok
+        assert result.entry.global_
+        assert result.entry.domain == DOMAIN_KERNEL
+        assert result.entry.span_pages == 256
+
+    def test_kernel_section_covers_neighbouring_pages(self):
+        h = _MmuHarness()
+        base = KERNEL_SPACE_START + 0x300000
+        h.translate(base)
+        result = h.translate(base + 5 * PAGE_SIZE)
+        assert result.ok and not result.walked
+
+    def test_kernel_paddr_linear(self):
+        from repro.hw.mmu import Mmu
+        assert (Mmu.kernel_paddr(KERNEL_SPACE_START + 4096)
+                - Mmu.kernel_paddr(KERNEL_SPACE_START)) == 4096

@@ -1,0 +1,205 @@
+"""Experiment drivers: every table/figure runs and renders at test scale."""
+
+import pytest
+
+from repro.experiments import ablations, fork, ipc, launch, motivation, steady
+from repro.experiments.common import (
+    CONFIG_FACTORIES,
+    Scale,
+    build_runtime,
+    format_table,
+)
+from repro.experiments.runner import ALL_GROUPS, TARGETS, run_target
+
+TINY = Scale(name="tiny", launch_rounds=2, fork_rounds=2, steady_rounds=1,
+             ipc_invocations=25, apps=("Angrybirds", "Email"),
+             revisit_passes=0, base_burst=500)
+
+
+@pytest.fixture(scope="module")
+def shared_runtime():
+    return build_runtime("shared-ptp")
+
+
+class TestCommon:
+    def test_build_runtime_unknown_config(self):
+        with pytest.raises(KeyError):
+            build_runtime("nope")
+
+    def test_config_factories_cover_paper(self):
+        assert set(CONFIG_FACTORIES) == {
+            "stock", "copy-pte", "shared-ptp", "shared-ptp-tlb"
+        }
+
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Bee"], [["1", "2"], ["333", "4"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in lines[-1]
+
+
+class TestMotivationDrivers:
+    def test_table1(self, shared_runtime):
+        result = motivation.table1(TINY, runtime=shared_runtime)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert 0 < row["user_pct"] < 100
+            # Measured split tracks the profile's Table 1 value.
+            assert row["user_pct"] == pytest.approx(
+                row["paper_user_pct"], abs=8
+            )
+        assert "Table 1" in result.render()
+
+    def test_figure2(self, shared_runtime):
+        result = motivation.figure2(TINY, runtime=shared_runtime)
+        assert result.average_shared_fraction > 0.85
+        assert "Figure 2" in result.render()
+
+    def test_figure3_fetches_exceed_pages(self, shared_runtime):
+        pages = motivation.figure2(TINY, runtime=shared_runtime)
+        fetches = motivation.figure3(TINY, runtime=shared_runtime)
+        assert (fetches.average_shared_fraction
+                > pages.average_shared_fraction)
+        assert "Figure 3" in fetches.render()
+
+    def test_table2(self, shared_runtime):
+        result = motivation.table2(TINY, runtime=shared_runtime)
+        assert 0 < result.matrix.average_preloaded < 100
+        assert result.matrix.average_all_shared >= (
+            result.matrix.average_preloaded
+        )
+        assert "Table 2" in result.render()
+
+    def test_figure4(self, shared_runtime):
+        result = motivation.figure4(TINY, runtime=shared_runtime)
+        assert result.sparsity.average_memory_ratio > 1.0
+        assert result.sparsity.union.accessed_4k_pages > 0
+        assert "Figure 4" in result.render()
+
+
+class TestForkDrivers:
+    def test_table4_shape(self):
+        result = fork.table4(TINY)
+        assert result.stock_over_shared > 1.5
+        assert result.copied_over_stock > 1.3
+        assert result.row("shared-ptp").shared_ptps == 81
+        assert "Table 4" in result.render()
+
+    def test_table3_cold_le_warm(self, shared_runtime):
+        result = fork.table3(TINY, runtime=shared_runtime)
+        for row in result.rows:
+            assert row.cold_inherited <= row.warm_inherited
+            assert row.cold_inherited > 0
+        assert "Table 3" in result.render()
+
+
+class TestLaunchDriver:
+    def test_all_three_figures(self):
+        result = launch.run_launch_experiment(TINY)
+        assert len(result.series) == 4
+        assert result.speedup("Shared PTP & TLB") > 0
+        shared = result.get("Shared PTP & TLB")
+        stock = result.baseline
+        assert shared.mean_file_faults < 0.2 * stock.mean_file_faults
+        assert shared.mean_ptps < stock.mean_ptps
+        text = result.render()
+        for figure in ("Figure 7", "Figure 8", "Figure 9"):
+            assert figure in text
+
+
+class TestSteadyDriver:
+    def test_sweep(self):
+        result = steady.run_steady_experiment(TINY)
+        assert set(result.apps) == {"Angrybirds", "Email"}
+        for app in result.apps:
+            assert 0 < result.fault_reduction(app) < 1
+            shared = result.get("shared", app)
+            assert 0 < shared.shared_fraction <= 1
+            aligned = result.get("shared-2mb", app)
+            assert aligned.shared_fraction > shared.shared_fraction
+        text = result.render()
+        for figure in ("Figure 10", "Figure 11", "Figure 12"):
+            assert figure in text
+
+
+class TestIpcDriver:
+    def test_six_configurations(self):
+        result = ipc.run_ipc_experiment(TINY)
+        assert len(result.results) == 6
+        gain_client, gain_server = result.tlb_share_gain_no_asid
+        assert gain_client > 0 and gain_server > 0
+        asid_client, asid_server = result.asid_gain
+        assert asid_server > 0
+        # Domain faults appear only in the TLB-sharing configurations.
+        assert result.noise_domain_faults[(False, "shared-ptp-tlb")] > 0
+        assert result.noise_domain_faults[(False, "stock")] == 0
+        assert "Figure 13" in result.render()
+
+
+class TestAblationDrivers:
+    def test_unshare_copy_policy(self):
+        result = ablations.unshare_copy_ablation(TINY, app="Email")
+        assert result.referenced_only_ptes <= result.copy_all_ptes
+        assert "Ablation" in result.render()
+
+    def test_l1_write_protect(self):
+        result = ablations.l1_write_protect_ablation(TINY)
+        assert result.x86_wp_ptes == 0
+        assert result.arm_wp_ptes > 0
+        assert result.first_fork_speedup > 1.0
+        assert "write protection" in result.render()
+
+    def test_domainless_fallback_costs_more(self):
+        result = ablations.domainless_ablation(TINY)
+        assert result.domain_faults >= 0
+        assert (result.without_domains_client
+                >= result.with_domains_client * 0.9)
+        assert "confinement" in result.render()
+
+    def test_large_page_tradeoff(self):
+        result = ablations.large_page_ablation(pages=256, touch_every=6)
+        assert result.frames_64k > result.frames_4k
+        assert result.tlb_misses_64k < result.tlb_misses_4k
+        assert "64KB large pages" in result.render()
+
+    def test_cache_pollution_deduplication(self):
+        """Figure 1's motivation: duplicated PTE lines in the L2."""
+        result = ablations.cache_pollution_experiment(processes=3,
+                                                      code_pages=120)
+        assert result.shared_pte_lines < result.stock_pte_lines
+        assert result.shared_walk_stall < result.stock_walk_stall
+        # N+1 private copies collapse to roughly one (the shared PTP
+        # also carries neighbouring libraries' PTEs, so the reduction
+        # at this small scale is below the asymptotic (N)/(N+1)).
+        assert result.line_reduction > 0.3
+        assert "Figure 1" in result.render()
+
+    def test_scalability_sweep(self):
+        result = ablations.scalability_sweep([1, 4])
+        assert len(result.points) == 2
+        growth_stock = (result.points[1].stock_ptp_frames
+                        - result.points[0].stock_ptp_frames)
+        growth_shared = (result.points[1].shared_ptp_frames
+                         - result.points[0].shared_ptp_frames)
+        assert growth_shared < growth_stock
+        assert "Scalability" in result.render()
+
+
+class TestRunner:
+    def test_targets_cover_all_artifacts(self):
+        for artefact in ("table1", "table2", "table3", "table4",
+                         "figure2", "figure3", "figure4", "figure7",
+                         "figure8", "figure9", "figure10", "figure11",
+                         "figure12", "figure13"):
+            assert artefact in TARGETS
+        for group in ALL_GROUPS:
+            assert group in TARGETS
+
+    def test_run_target_unknown(self):
+        with pytest.raises(SystemExit):
+            run_target("nope", TINY)
+
+    def test_run_target_table4(self):
+        report = run_target("table4", TINY)
+        assert "zygote fork" in report

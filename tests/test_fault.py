@@ -1,0 +1,157 @@
+"""The page-fault handler: demand paging, COW, unshare, domain faults."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.events import AccessType, ifetch, load, store
+from repro.common.perms import MapFlags, Prot
+from repro.hw.memory import FrameKind
+from repro.hw.pagetable import Pte
+from repro.kernel.fault import SegmentationFault
+from tests.conftest import make_kernel
+
+ANON = MapFlags.PRIVATE | MapFlags.ANONYMOUS
+
+
+class _Env:
+    def __init__(self, config="shared-ptp"):
+        self.kernel = make_kernel(config)
+        self.task = self.kernel.create_process("proc")
+        self.file = self.kernel.page_cache.create_file("lib", 64)
+        self.code = self.kernel.syscalls.mmap(
+            self.task, 16 * PAGE_SIZE, Prot.READ | Prot.EXEC,
+            MapFlags.PRIVATE, file=self.file)
+        self.data = self.kernel.syscalls.mmap(
+            self.task, 8 * PAGE_SIZE, Prot.READ | Prot.WRITE,
+            MapFlags.PRIVATE, file=self.file, file_page_offset=16)
+        self.heap = self.kernel.syscalls.mmap(
+            self.task, 8 * PAGE_SIZE, Prot.READ | Prot.WRITE, ANON)
+
+    def pte(self, vaddr):
+        found = self.task.mm.tables.lookup_pte(vaddr)
+        return None if found is None else found[2]
+
+    def frame_of(self, vaddr):
+        return self.kernel.memory.frame(Pte.pfn(self.pte(vaddr)))
+
+
+class TestDemandPaging:
+    def test_file_read_fault_maps_page_cache_frame(self):
+        env = _Env()
+        env.kernel.run(env.task, [ifetch(env.code.start)])
+        frame = env.frame_of(env.code.start)
+        assert frame.kind is FrameKind.FILE
+        assert env.task.counters.file_backed_faults == 1
+        assert env.task.counters.cold_file_faults == 1
+
+    def test_warm_file_fault_is_soft(self):
+        env = _Env()
+        env.kernel.run(env.task, [ifetch(env.code.start)])
+        other = env.kernel.create_process("other")
+        env.kernel.syscalls.mmap(other, 16 * PAGE_SIZE,
+                                 Prot.READ | Prot.EXEC, MapFlags.PRIVATE,
+                                 file=env.file, addr=env.code.start)
+        env.kernel.run(other, [ifetch(env.code.start)])
+        assert other.counters.soft_faults == 1
+        assert other.counters.cold_file_faults == 0
+        # Same physical frame in both spaces.
+        assert (env.frame_of(env.code.start).pfn
+                == Pte.pfn(other.mm.tables.lookup_pte(env.code.start)[2]))
+
+    def test_private_file_pte_never_writable_on_read(self):
+        env = _Env()
+        env.kernel.run(env.task, [load(env.data.start)])
+        assert not Pte.is_writable(env.pte(env.data.start))
+
+    def test_anon_read_maps_zero_page(self):
+        env = _Env()
+        env.kernel.run(env.task, [load(env.heap.start)])
+        assert env.frame_of(env.heap.start) is env.kernel.zero_frame
+        assert not Pte.is_writable(env.pte(env.heap.start))
+
+    def test_anon_write_allocates_writable_frame(self):
+        env = _Env()
+        env.kernel.run(env.task, [store(env.heap.start)])
+        frame = env.frame_of(env.heap.start)
+        assert frame.kind is FrameKind.ANON
+        assert Pte.is_writable(env.pte(env.heap.start))
+        assert env.task.counters.anon_faults == 1
+
+
+class TestCow:
+    def test_write_to_private_file_page_cows(self):
+        env = _Env()
+        env.kernel.run(env.task, [store(env.data.start)])
+        frame = env.frame_of(env.data.start)
+        assert frame.kind is FrameKind.ANON
+        assert Pte.is_writable(env.pte(env.data.start))
+        vpn = env.data.start >> 12
+        assert vpn in env.task.mm.find_vma(env.data.start).anon_pages
+
+    def test_read_then_write_breaks_cow(self):
+        env = _Env()
+        env.kernel.run(env.task, [load(env.data.start)])
+        file_frame = env.frame_of(env.data.start)
+        env.kernel.run(env.task, [store(env.data.start)])
+        assert env.frame_of(env.data.start) is not file_frame
+        assert env.task.counters.cow_faults == 1
+
+    def test_zero_page_write_cows(self):
+        env = _Env()
+        env.kernel.run(env.task, [load(env.heap.start),
+                                  store(env.heap.start)])
+        assert env.frame_of(env.heap.start) is not env.kernel.zero_frame
+        assert env.task.counters.cow_faults == 1
+
+    def test_sole_owner_write_enable_without_copy(self):
+        """Anon frame owned by one task: the write bit is just set."""
+        env = _Env()
+        env.kernel.run(env.task, [store(env.heap.start)])
+        frame = env.frame_of(env.heap.start)
+        # Write-protect the PTE manually (as a fork would).
+        ptp, index, pte = env.task.mm.tables.lookup_pte(env.heap.start)
+        ptp.set(index, Pte.write_protect(pte))
+        env.kernel.flush_task_tlbs(env.task)
+        env.kernel.run(env.task, [store(env.heap.start)])
+        assert env.frame_of(env.heap.start) is frame
+        assert env.task.counters.write_enable_faults == 1
+
+    def test_cow_after_fork_copies_shared_anon_frame(self):
+        env = _Env()
+        env.kernel.run(env.task, [store(env.heap.start)])
+        parent_frame = env.frame_of(env.heap.start)
+        child, _ = env.kernel.fork(env.task, "child")
+        env.kernel.run(child, [store(child.mm.find_vma(env.heap.start).start)])
+        child_frame = env.kernel.memory.frame(
+            Pte.pfn(child.mm.tables.lookup_pte(env.heap.start)[2])
+        )
+        assert child_frame is not parent_frame
+        assert child.counters.cow_faults >= 1
+        # The parent still maps its original frame.
+        assert env.frame_of(env.heap.start) is parent_frame
+
+
+class TestSegfaults:
+    def test_unmapped_address_raises(self):
+        env = _Env()
+        with pytest.raises(SegmentationFault):
+            env.kernel.run(env.task, [load(0x10000000)])
+
+    def test_write_to_readonly_region_raises(self):
+        env = _Env()
+        with pytest.raises(SegmentationFault):
+            env.kernel.run(env.task, [store(env.code.start)])
+
+
+class TestFaultAccounting:
+    def test_fault_charges_overhead_and_kernel_instructions(self):
+        env = _Env()
+        env.kernel.run(env.task, [ifetch(env.code.start)])
+        assert env.task.stats.fault_overhead > 0
+        assert env.task.stats.kernel_instructions >= (
+            env.kernel.cost.fault_kernel_instructions
+        )
+
+    def test_soft_fault_total_near_paper_anchor(self):
+        cost = make_kernel().cost
+        assert cost.soft_fault_total == pytest.approx(2700, rel=0.05)

@@ -1,0 +1,150 @@
+"""Fork policies: stock, copy-pte, shared-ptp."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.events import ifetch, load, store
+from repro.common.perms import MapFlags, Prot
+from repro.hw.pagetable import Pte
+from tests.conftest import make_kernel
+
+ANON = MapFlags.PRIVATE | MapFlags.ANONYMOUS
+
+
+def build_parent(kernel):
+    parent = kernel.create_process("parent")
+    file = kernel.page_cache.create_file("lib", 64)
+    code = kernel.syscalls.mmap(parent, 16 * PAGE_SIZE,
+                                Prot.READ | Prot.EXEC, MapFlags.PRIVATE,
+                                file=file, addr=0x40000000,
+                                zygote_preloaded=True)
+    data = kernel.syscalls.mmap(parent, 4 * PAGE_SIZE,
+                                Prot.READ | Prot.WRITE, MapFlags.PRIVATE,
+                                file=file, file_page_offset=16,
+                                addr=0x40010000)
+    heap = kernel.syscalls.mmap(parent, 8 * PAGE_SIZE,
+                                Prot.READ | Prot.WRITE, ANON,
+                                addr=0x50000000)
+    kernel.run(parent, [ifetch(code.start + i * PAGE_SIZE)
+                        for i in range(10)])
+    kernel.run(parent, [store(heap.start + i * PAGE_SIZE)
+                        for i in range(5)])
+    return parent, code, data, heap
+
+
+class TestStockFork:
+    def test_anon_ptes_copied_file_ptes_skipped(self):
+        kernel = make_kernel("stock")
+        parent, code, data, heap = build_parent(kernel)
+        child, report = kernel.fork(parent, "child")
+        assert report.ptes_copied == 5  # The heap PTEs only.
+        assert child.mm.tables.lookup_pte(heap.start) is not None
+        assert child.mm.tables.lookup_pte(code.start) is None
+
+    def test_cow_write_protection_in_both(self):
+        kernel = make_kernel("stock")
+        parent, code, data, heap = build_parent(kernel)
+        child, _ = kernel.fork(parent, "child")
+        for task in (parent, child):
+            pte = task.mm.tables.lookup_pte(heap.start)[2]
+            assert not Pte.is_writable(pte)
+
+    def test_child_refaults_file_pages_softly(self):
+        kernel = make_kernel("stock")
+        parent, code, data, heap = build_parent(kernel)
+        child, _ = kernel.fork(parent, "child")
+        kernel.run(child, [ifetch(code.start)])
+        assert child.counters.soft_faults == 1
+        assert child.counters.cold_file_faults == 0
+
+    def test_cowed_file_pages_are_copied_at_fork(self):
+        """A COW-ed private file page cannot be refaulted: stock fork
+        must copy its PTE (the anon_pages path)."""
+        kernel = make_kernel("stock")
+        parent, code, data, heap = build_parent(kernel)
+        kernel.run(parent, [store(data.start)])  # COW a data page.
+        child, report = kernel.fork(parent, "child")
+        assert child.mm.tables.lookup_pte(data.start) is not None
+        assert report.ptes_copied == 6  # 5 heap + 1 COW-ed data page.
+
+    def test_shared_frames_after_fork(self):
+        kernel = make_kernel("stock")
+        parent, code, data, heap = build_parent(kernel)
+        child, _ = kernel.fork(parent, "child")
+        parent_pfn = Pte.pfn(parent.mm.tables.lookup_pte(heap.start)[2])
+        child_pfn = Pte.pfn(child.mm.tables.lookup_pte(heap.start)[2])
+        assert parent_pfn == child_pfn
+        assert kernel.memory.frame(parent_pfn).mapcount == 2
+
+
+class TestCopyPteFork:
+    def test_preloaded_code_ptes_also_copied(self):
+        kernel = make_kernel("copy-pte")
+        parent, code, data, heap = build_parent(kernel)
+        child, report = kernel.fork(parent, "child")
+        assert report.ptes_copied == 15  # 5 heap + 10 preloaded code.
+        assert child.mm.tables.lookup_pte(code.start) is not None
+
+    def test_non_preloaded_file_code_still_skipped(self):
+        kernel = make_kernel("copy-pte")
+        parent = kernel.create_process("parent")
+        file = kernel.page_cache.create_file("app.so", 8)
+        other = kernel.syscalls.mmap(parent, 8 * PAGE_SIZE,
+                                     Prot.READ | Prot.EXEC,
+                                     MapFlags.PRIVATE, file=file)
+        kernel.run(parent, [ifetch(other.start)])
+        child, report = kernel.fork(parent, "child")
+        assert report.ptes_copied == 0
+
+
+class TestSharedFork:
+    def test_no_pte_copies_for_shared_content(self):
+        kernel = make_kernel("shared-ptp")
+        parent, code, data, heap = build_parent(kernel)
+        child, report = kernel.fork(parent, "child")
+        assert report.ptes_copied == 0  # No stack in this parent.
+        assert report.slots_shared == 2
+
+    def test_vma_list_cloned(self):
+        kernel = make_kernel("shared-ptp")
+        parent, code, data, heap = build_parent(kernel)
+        child, _ = kernel.fork(parent, "child")
+        assert child.mm.vma_count == parent.mm.vma_count
+        child_code = child.mm.find_vma(code.start)
+        assert child_code is not code
+        assert child_code.start == code.start
+        assert child_code.prot == code.prot
+
+    def test_fork_cycles_ordering(self):
+        """shared < stock < copy-pte for identical parents."""
+        cycles = {}
+        for config in ("shared-ptp", "stock", "copy-pte"):
+            kernel = make_kernel(config)
+            parent, *_ = build_parent(kernel)
+            kernel.fork(parent, "warmup")  # First-share WP pass.
+            _, report = kernel.fork(parent, "measured")
+            cycles[config] = report.cycles
+        assert cycles["shared-ptp"] < cycles["stock"] < cycles["copy-pte"]
+
+    def test_fork_charged_to_parent(self):
+        kernel = make_kernel("shared-ptp")
+        parent, *_ = build_parent(kernel)
+        before = parent.stats.fork_cycles
+        kernel.fork(parent, "child")
+        assert parent.stats.fork_cycles > before
+
+    def test_zygote_child_flag_propagates(self):
+        kernel = make_kernel("shared-ptp")
+        zygote = kernel.create_process("zygote")
+        kernel.exec_zygote(zygote)
+        child, _ = kernel.fork(zygote, "app")
+        grandchild, _ = kernel.fork(child, "sandbox")
+        assert child.is_zygote_child and not child.is_zygote
+        assert grandchild.is_zygote_child
+
+    def test_mmap_hint_inherited(self):
+        kernel = make_kernel("shared-ptp")
+        parent, *_ = build_parent(kernel)
+        parent.mm.mmap_hint = 0x55000000
+        child, _ = kernel.fork(parent, "child")
+        assert child.mm.mmap_hint == 0x55000000

@@ -1,0 +1,163 @@
+"""End-to-end reproduction invariants at full calibration.
+
+These are the headline claims of the paper, asserted as *shapes*
+(orderings and rough factors) against the full-scale zygote.  They are
+the slowest tests in the suite (~1-2s each boot).
+"""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.hw.memory import FrameKind
+from repro.kernel.config import shared_ptp_config, stock_config
+from repro.kernel.kernel import Kernel
+from repro.android.zygote import boot_android
+from repro.workloads.profiles import HELLOWORLD
+from repro.workloads.session import launch_app
+from tests.conftest import make_kernel, make_small_runtime
+
+
+@pytest.fixture(scope="module")
+def fork_reports():
+    """Min-of-3 fork reports per kernel configuration."""
+    reports = {}
+    for config in ("stock", "copy-pte", "shared-ptp"):
+        kernel = make_kernel(config)
+        runtime = boot_android(kernel)
+        best = None
+        for index in range(3):
+            child, report = runtime.fork_app(f"app{index}")
+            ptps = child.counters.ptps_allocated
+            if best is None or report.cycles < best[0].cycles:
+                best = (report, ptps)
+            kernel.exit_task(child)
+        reports[config] = best
+    return reports
+
+
+class TestTable4Reproduction:
+    def test_exact_counts(self, fork_reports):
+        stock, stock_ptps = fork_reports["stock"]
+        copy, copy_ptps = fork_reports["copy-pte"]
+        shared, shared_ptps = fork_reports["shared-ptp"]
+        assert (stock.ptes_copied, stock_ptps) == (3900, 38)
+        assert (copy.ptes_copied, copy_ptps) == (9800, 51)
+        assert (shared.ptes_copied, shared_ptps) == (7, 1)
+        assert shared.slots_shared == 81
+
+    def test_fork_speedup_factor(self, fork_reports):
+        """Paper: sharing PTPs speeds up zygote fork by ~2.1x."""
+        stock = fork_reports["stock"][0].cycles
+        shared = fork_reports["shared-ptp"][0].cycles
+        assert 1.8 <= stock / shared <= 2.8
+
+    def test_copy_pte_slowdown_factor(self, fork_reports):
+        """Paper: copying preloaded-code PTEs is ~1.59x slower."""
+        stock = fork_reports["stock"][0].cycles
+        copy = fork_reports["copy-pte"][0].cycles
+        assert 1.4 <= copy / stock <= 1.9
+
+
+class TestLaunchReproduction:
+    @pytest.fixture(scope="class")
+    def launches(self):
+        measurements = {}
+        for config in ("stock", "shared-ptp"):
+            kernel = make_kernel(config)
+            runtime = boot_android(kernel)
+            session = launch_app(runtime, HELLOWORLD,
+                                 DeterministicRng(100, "launch"),
+                                 base_burst=5000)
+            measurements[config] = session.launch
+            session.finish()
+        return measurements
+
+    def test_file_fault_elimination(self, launches):
+        """Paper: 94% fewer file-backed faults (1,900 -> 110)."""
+        stock = launches["stock"].file_backed_faults
+        shared = launches["shared-ptp"].file_backed_faults
+        assert stock > 1500
+        assert shared < 0.15 * stock
+
+    def test_ptp_reduction(self, launches):
+        """Paper: 72 -> 23 PTPs (68% fewer)."""
+        stock = launches["stock"].ptps_allocated
+        shared = launches["shared-ptp"].ptps_allocated
+        assert shared < 0.5 * stock
+
+    def test_execution_time_improvement(self, launches):
+        """Paper: 7-10% faster launch."""
+        stock = launches["stock"].cycles
+        shared = launches["shared-ptp"].cycles
+        improvement = 1 - shared / stock
+        assert 0.03 <= improvement <= 0.20
+
+    def test_fewer_kernel_instructions(self, launches):
+        assert (launches["shared-ptp"].kernel_instructions
+                < launches["stock"].kernel_instructions)
+
+    def test_icache_stall_reduction(self, launches):
+        assert (launches["shared-ptp"].l1i_stall
+                < launches["stock"].l1i_stall)
+
+
+class TestWarmStartInheritance:
+    def test_second_launch_inherits_first_runs_ptes(self):
+        """Table 3's warm-start effect: PTEs populated by the first run
+        persist in the zygote's shared PTPs."""
+        kernel = make_kernel("shared-ptp")
+        runtime = boot_android(kernel)
+        rng = DeterministicRng(100, "warm")
+        first = launch_app(runtime, HELLOWORLD, rng, round_seed=0)
+        cold_faults = first.launch.file_backed_faults
+        first.finish()
+        second = launch_app(runtime, HELLOWORLD, rng, round_seed=1)
+        warm_faults = second.launch.file_backed_faults
+        second.finish()
+        assert warm_faults < cold_faults
+
+    def test_stock_gets_no_warm_benefit_in_ptes(self):
+        """Stock children always rebuild their own PTEs."""
+        kernel = make_kernel("stock")
+        runtime = boot_android(kernel)
+        rng = DeterministicRng(100, "warm")
+        faults = []
+        for round_index in range(2):
+            session = launch_app(runtime, HELLOWORLD, rng,
+                                 round_seed=round_index)
+            faults.append(session.launch.file_backed_faults)
+            session.finish()
+        # Same page set, page cache warm either way: fault count stable.
+        assert faults[1] == pytest.approx(faults[0], rel=0.05)
+
+
+class TestScalability:
+    def test_shared_tables_flatten_ptp_growth(self):
+        frames = {}
+        for config in ("stock", "shared-ptp"):
+            runtime = make_small_runtime(config)
+            kernel = runtime.kernel
+            base = kernel.memory.live_frames(FrameKind.PTP)
+            for index in range(8):
+                runtime.fork_app(f"app{index}")
+            frames[config] = (
+                kernel.memory.live_frames(FrameKind.PTP) - base
+            )
+        # Private tables: ~38 PTPs per process; shared: ~1.
+        assert frames["shared-ptp"] * 5 < frames["stock"]
+
+
+class TestCrossConfigConsistency:
+    def test_identical_workload_identical_user_instructions(self):
+        """The kernels differ; the application work must not."""
+        instructions = {}
+        for config in ("stock", "shared-ptp"):
+            runtime = make_small_runtime(config)
+            session = launch_app(runtime, HELLOWORLD,
+                                 DeterministicRng(5, "same"),
+                                 revisit_passes=0)
+            stats = session.task.stats
+            user = stats.instructions - stats.kernel_instructions
+            instructions[config] = user
+            session.finish()
+        assert instructions["stock"] == instructions["shared-ptp"]

@@ -1,0 +1,141 @@
+"""ARM 64KB large pages and their interplay with shared PTPs (§2.3.3)."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import VmaError
+from repro.common.events import ifetch, load
+from repro.common.perms import MapFlags, Prot
+from repro.hw.memory import FrameKind
+from repro.hw.pagetable import Pte
+from tests.conftest import make_kernel
+from tests.invariants import check_kernel_invariants
+
+CHUNK = 64 * 1024
+
+
+def large_page_env(config="shared-ptp", pages=64):
+    kernel = make_kernel(config)
+    task = kernel.create_process("proc")
+    file = kernel.page_cache.create_file("lib", pages)
+    vma = kernel.syscalls.mmap(task, pages * PAGE_SIZE,
+                               Prot.READ | Prot.EXEC, MapFlags.PRIVATE,
+                               file=file, use_large_pages=True)
+    return kernel, task, vma, file
+
+
+class TestValidation:
+    def test_requires_readonly_file(self):
+        kernel = make_kernel()
+        task = kernel.create_process("p")
+        with pytest.raises(VmaError):
+            kernel.syscalls.mmap(task, CHUNK, Prot.READ | Prot.WRITE,
+                                 MapFlags.PRIVATE | MapFlags.ANONYMOUS,
+                                 use_large_pages=True)
+
+    def test_alignment_enforced_automatically(self):
+        kernel, task, vma, _ = large_page_env()
+        assert vma.start % CHUNK == 0
+
+
+class TestMapping:
+    def test_one_fault_populates_sixteen_ptes(self):
+        kernel, task, vma, _ = large_page_env()
+        kernel.run(task, [ifetch(vma.start)])
+        assert task.counters.file_backed_faults == 1
+        slot = task.mm.tables.slot_for(vma.start)
+        assert slot.ptp.valid_count == 16
+        for index in range(16):
+            pte = slot.ptp.get(index)
+            assert pte & Pte.LARGE
+            assert not Pte.is_writable(pte)
+
+    def test_frames_physically_contiguous(self):
+        kernel, task, vma, _ = large_page_env()
+        kernel.run(task, [ifetch(vma.start)])
+        slot = task.mm.tables.slot_for(vma.start)
+        pfns = [Pte.pfn(slot.ptp.get(index)) for index in range(16)]
+        assert pfns == list(range(pfns[0], pfns[0] + 16))
+
+    def test_single_tlb_entry_covers_chunk(self):
+        kernel, task, vma, _ = large_page_env()
+        kernel.run(task, [ifetch(vma.start)])
+        core = kernel.schedule(task)
+        misses_before = core.main_tlb.stats.misses
+        # Pages 1..15 of the chunk hit the same (span-16) entry.
+        kernel.run(task, [ifetch(vma.start + i * PAGE_SIZE)
+                          for i in range(1, 16)])
+        assert core.main_tlb.stats.misses == misses_before
+        entry = core.main_tlb.lookup(vma.start >> 12, task.asid)
+        assert entry.span_pages == 16
+
+    def test_paddr_resolution_within_chunk(self):
+        """The TLB entry's base PFN resolves interior pages correctly."""
+        kernel, task, vma, _ = large_page_env()
+        kernel.run(task, [ifetch(vma.start + 5 * PAGE_SIZE)])
+        core = kernel.schedule(task)
+        entry = core.main_tlb.lookup((vma.start >> 12) + 5, task.asid)
+        slot = task.mm.tables.slot_for(vma.start)
+        assert entry.pfn + 5 == Pte.pfn(slot.ptp.get(5))
+
+    def test_fallback_when_cache_fragmented(self):
+        """4KB-cached pages block large-page mapping, not correctness."""
+        kernel = make_kernel()
+        file = kernel.page_cache.create_file("lib", 32)
+        # Another process faults one page in 4KB-wise first.
+        other = kernel.create_process("other")
+        small = kernel.syscalls.mmap(other, 32 * PAGE_SIZE, Prot.READ,
+                                     MapFlags.PRIVATE, file=file)
+        kernel.run(other, [load(small.start + 3 * PAGE_SIZE)])
+        # Now a large-page mapping of the same file must fall back.
+        task = kernel.create_process("proc")
+        vma = kernel.syscalls.mmap(task, 32 * PAGE_SIZE,
+                                   Prot.READ | Prot.EXEC,
+                                   MapFlags.PRIVATE, file=file,
+                                   use_large_pages=True)
+        kernel.run(task, [ifetch(vma.start)])
+        slot = task.mm.tables.slot_for(vma.start)
+        assert slot.ptp.valid_count == 1  # Single 4KB mapping.
+        assert not (slot.ptp.get(0) & Pte.LARGE)
+
+    def test_memory_waste_versus_4k(self):
+        """Figure 4's cost: one touch charges sixteen frames."""
+        kernel, task, vma, _ = large_page_env()
+        before = kernel.memory.live_frames(FrameKind.FILE)
+        kernel.run(task, [ifetch(vma.start)])
+        assert kernel.memory.live_frames(FrameKind.FILE) == before + 16
+
+
+class TestSharingInterop:
+    def test_large_page_ptes_shared_at_fork(self):
+        """Section 2.3.3: 64KB translations share like 4KB ones."""
+        kernel, parent, vma, _ = large_page_env("shared-ptp")
+        kernel.run(parent, [ifetch(vma.start)])
+        child, report = kernel.fork(parent, "child")
+        assert report.slots_shared == 1
+        kernel.run(child, [ifetch(vma.start + 2 * PAGE_SIZE)])
+        assert child.counters.total_faults == 0  # Inherited the chunk.
+        check_kernel_invariants(kernel)
+
+    def test_global_bit_on_large_pages(self):
+        kernel = make_kernel("shared-ptp-tlb")
+        zygote = kernel.create_process("zygote")
+        kernel.exec_zygote(zygote)
+        file = kernel.page_cache.create_file("lib", 32)
+        vma = kernel.syscalls.mmap(zygote, 32 * PAGE_SIZE,
+                                   Prot.READ | Prot.EXEC,
+                                   MapFlags.PRIVATE, file=file,
+                                   use_large_pages=True)
+        kernel.run(zygote, [ifetch(vma.start)])
+        core = kernel.schedule(zygote)
+        entry = core.main_tlb.lookup(vma.start >> 12, zygote.asid)
+        assert entry.global_ and entry.span_pages == 16
+
+    def test_teardown_releases_all_chunk_frames(self):
+        kernel, task, vma, _ = large_page_env()
+        kernel.run(task, [ifetch(vma.start), ifetch(vma.start + CHUNK)])
+        kernel.exit_task(task)
+        check_kernel_invariants(kernel)
+        # File frames persist in the page cache (unmapped); page-table
+        # frames are all reclaimed.
+        assert kernel.memory.live_frames(FrameKind.PTP) == 0

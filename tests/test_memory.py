@@ -1,0 +1,104 @@
+"""Physical memory: frame allocation and reference counting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import OutOfMemoryError, SimulationError
+from repro.hw.memory import Frame, FrameKind, PhysicalMemory
+
+
+class TestAllocation:
+    def test_allocate_assigns_unique_pfns(self):
+        memory = PhysicalMemory()
+        frames = [memory.allocate(FrameKind.ANON) for _ in range(10)]
+        pfns = [f.pfn for f in frames]
+        assert len(set(pfns)) == 10
+        assert 0 not in pfns  # PFN 0 reserved.
+
+    def test_paddr_matches_pfn(self):
+        memory = PhysicalMemory()
+        frame = memory.allocate(FrameKind.FILE)
+        assert frame.paddr == frame.pfn * 4096
+
+    def test_stats_track_kinds(self):
+        memory = PhysicalMemory()
+        memory.allocate(FrameKind.ANON)
+        memory.allocate(FrameKind.PTP)
+        memory.allocate(FrameKind.PTP)
+        assert memory.stats.by_kind[FrameKind.ANON] == 1
+        assert memory.stats.by_kind[FrameKind.PTP] == 2
+        assert memory.stats.in_use == 3
+
+    def test_out_of_memory(self):
+        memory = PhysicalMemory(total_frames=2)
+        memory.allocate(FrameKind.ANON)
+        memory.allocate(FrameKind.ANON)
+        with pytest.raises(OutOfMemoryError):
+            memory.allocate(FrameKind.ANON)
+
+    def test_peak_tracking(self):
+        memory = PhysicalMemory()
+        a = memory.allocate(FrameKind.ANON)
+        b = memory.allocate(FrameKind.ANON)
+        memory.free(a)
+        memory.allocate(FrameKind.ANON)
+        assert memory.stats.peak_in_use == 2
+
+
+class TestRefcounting:
+    def test_get_put_cycle(self):
+        frame = Frame(pfn=1, kind=FrameKind.ANON)
+        frame.get()
+        frame.get()
+        assert frame.mapcount == 2
+        assert frame.put() == 1
+        assert frame.put() == 0
+
+    def test_put_underflow_raises(self):
+        frame = Frame(pfn=1, kind=FrameKind.ANON)
+        with pytest.raises(SimulationError):
+            frame.put()
+
+    def test_free_mapped_frame_raises(self):
+        memory = PhysicalMemory()
+        frame = memory.allocate(FrameKind.ANON).get()
+        with pytest.raises(SimulationError):
+            memory.free(frame)
+
+    def test_double_free_raises(self):
+        memory = PhysicalMemory()
+        frame = memory.allocate(FrameKind.ANON)
+        memory.free(frame)
+        with pytest.raises(SimulationError):
+            memory.free(frame)
+
+    def test_lookup_after_free_raises(self):
+        memory = PhysicalMemory()
+        frame = memory.allocate(FrameKind.ANON)
+        memory.free(frame)
+        with pytest.raises(SimulationError):
+            memory.frame(frame.pfn)
+
+
+class TestLiveFrames:
+    def test_live_frames_by_kind(self):
+        memory = PhysicalMemory()
+        memory.allocate(FrameKind.FILE)
+        ptp = memory.allocate(FrameKind.PTP)
+        assert memory.live_frames() == 2
+        assert memory.live_frames(FrameKind.PTP) == 1
+        memory.free(ptp)
+        assert memory.live_frames(FrameKind.PTP) == 0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_alloc_free_sequence_invariant(self, ops):
+        """in_use always equals the live dictionary size."""
+        memory = PhysicalMemory()
+        live = []
+        for allocate in ops:
+            if allocate or not live:
+                live.append(memory.allocate(FrameKind.ANON))
+            else:
+                memory.free(live.pop())
+            assert memory.stats.in_use == len(live)
+            assert memory.live_frames() == len(live)

@@ -1,0 +1,71 @@
+"""The multi-process steady-system workload."""
+
+import pytest
+
+from repro.workloads.multitasking import MultitaskingWorkload
+from repro.workloads.profiles import APP_PROFILES
+from tests.conftest import make_small_runtime
+from tests.invariants import check_kernel_invariants
+
+PROFILES = [APP_PROFILES["Angrybirds"], APP_PROFILES["Email"]]
+
+
+class TestMultitasking:
+    def test_apps_stay_alive_across_quanta(self):
+        runtime = make_small_runtime("shared-ptp")
+        workload = MultitaskingWorkload(runtime, PROFILES,
+                                        pages_per_quantum=8, burst=50)
+        result = workload.run(quanta=24)
+        assert result.quanta == 24
+        assert len(workload.tasks) == 2
+        assert all(t.state.name != "EXITED" for t in workload.tasks)
+        assert result.context_switches > 0
+        workload.finish()
+
+    def test_quanta_spread_over_cores(self):
+        runtime = make_small_runtime("shared-ptp")
+        workload = MultitaskingWorkload(runtime, PROFILES,
+                                        pages_per_quantum=6, burst=50)
+        workload.run(quanta=16)
+        cores = runtime.kernel.platform.cores
+        busy = [core for core in cores if core.stats.instructions > 0]
+        assert len(busy) == len(cores)
+        workload.finish()
+
+    def test_shared_kernel_uses_less_pagetable_memory(self):
+        """The Figure 1 / intro scalability claim under co-running
+        processes."""
+        frames = {}
+        faults = {}
+        for config in ("stock", "shared-ptp"):
+            runtime = make_small_runtime(config)
+            workload = MultitaskingWorkload(
+                runtime, PROFILES, pages_per_quantum=10, burst=50)
+            result = workload.run(quanta=20)
+            frames[config] = result.ptp_frames
+            faults[config] = result.file_backed_faults
+            workload.finish()
+        assert frames["shared-ptp"] < frames["stock"]
+        assert faults["shared-ptp"] <= faults["stock"]
+
+    def test_invariants_hold_during_multitasking(self):
+        runtime = make_small_runtime("shared-ptp")
+        workload = MultitaskingWorkload(runtime, PROFILES,
+                                        pages_per_quantum=8, burst=50)
+        workload.run(quanta=10)
+        check_kernel_invariants(runtime.kernel)
+        workload.run(quanta=10)  # Continue the same tasks.
+        check_kernel_invariants(runtime.kernel)
+        workload.finish()
+        check_kernel_invariants(runtime.kernel)
+
+    def test_per_app_fault_accounting(self):
+        runtime = make_small_runtime("shared-ptp")
+        workload = MultitaskingWorkload(runtime, PROFILES,
+                                        pages_per_quantum=8, burst=50)
+        result = workload.run(quanta=12)
+        assert set(result.per_app_faults) == {
+            "Angrybirds#0", "Email#1"
+        }
+        assert sum(result.per_app_faults.values()) == result.total_faults
+        workload.finish()

@@ -1,0 +1,108 @@
+"""The page cache and the software counters."""
+
+import pytest
+
+from repro.common.errors import AddressError
+from repro.hw.memory import FrameKind, PhysicalMemory
+from repro.kernel.counters import Counters, CounterScope
+from repro.kernel.pagecache import PageCache
+
+
+class TestPageCache:
+    def setup_method(self):
+        self.memory = PhysicalMemory()
+        self.cache = PageCache(self.memory)
+        self.file = self.cache.create_file("libfoo.so", 16)
+
+    def test_first_access_is_cold(self):
+        frame, cold = self.cache.get_page(self.file, 3)
+        assert cold
+        assert frame.kind is FrameKind.FILE
+        assert self.cache.fills == 1
+
+    def test_second_access_returns_same_frame(self):
+        frame1, _ = self.cache.get_page(self.file, 3)
+        frame2, cold = self.cache.get_page(self.file, 3)
+        assert frame1 is frame2
+        assert not cold
+        assert self.cache.hits == 1
+
+    def test_cross_file_isolation(self):
+        other = self.cache.create_file("libbar.so", 16)
+        frame_a, _ = self.cache.get_page(self.file, 0)
+        frame_b, _ = self.cache.get_page(other, 0)
+        assert frame_a is not frame_b
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            self.cache.get_page(self.file, 16)
+        with pytest.raises(AddressError):
+            self.cache.get_page(self.file, -1)
+
+    def test_lookup_does_not_fill(self):
+        assert self.cache.lookup(self.file, 5) is None
+        self.cache.get_page(self.file, 5)
+        assert self.cache.lookup(self.file, 5) is not None
+
+    def test_resident_accounting(self):
+        self.cache.get_page(self.file, 0)
+        self.cache.get_page(self.file, 1)
+        assert self.cache.resident_pages(self.file) == 2
+        assert self.cache.resident_total == 2
+
+    def test_unique_file_ids(self):
+        other = self.cache.create_file("x", 1)
+        assert other.file_id != self.file.file_id
+
+
+class TestCounters:
+    def test_total_faults_composition(self):
+        counters = Counters()
+        counters.soft_faults = 2
+        counters.cow_faults = 3
+        counters.anon_faults = 1
+        assert counters.total_faults == 6
+
+    def test_ptes_copied_combines_fork_and_unshare(self):
+        counters = Counters()
+        counters.ptes_copied_fork = 10
+        counters.ptes_copied_unshare = 5
+        assert counters.ptes_copied == 15
+
+    def test_record_unshare_by_trigger(self):
+        counters = Counters()
+        counters.record_unshare("write-fault")
+        counters.record_unshare("write-fault")
+        counters.record_unshare("exit")
+        assert counters.ptp_unshare_events == 3
+        assert counters.unshare_by_trigger == {"write-fault": 2, "exit": 1}
+
+    def test_snapshot_and_delta(self):
+        counters = Counters()
+        counters.soft_faults = 5
+        counters.record_unshare("exit")
+        snap = counters.snapshot()
+        counters.soft_faults = 9
+        counters.record_unshare("exit")
+        delta = counters.delta_since(snap)
+        assert delta.soft_faults == 4
+        assert delta.unshare_by_trigger == {"exit": 1}
+        # Snapshot unaffected by later mutation.
+        assert snap.soft_faults == 5
+
+    def test_scope_bumps_all(self):
+        global_counters, task_counters = Counters(), Counters()
+        scope = CounterScope(global_counters, task_counters)
+        scope.bump("ptps_allocated")
+        scope.bump("ptes_copied_fork", 3)
+        scope.record_unshare("munmap")
+        for counters in (global_counters, task_counters):
+            assert counters.ptps_allocated == 1
+            assert counters.ptes_copied_fork == 3
+            assert counters.ptp_unshare_events == 1
+
+    def test_scope_tolerates_none(self):
+        counters = Counters()
+        scope = CounterScope(counters, None)
+        scope.bump("forks")
+        assert counters.forks == 1

@@ -1,0 +1,212 @@
+"""ARM page tables: PTE encoding, PTPs, and the per-space tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.constants import DOMAIN_USER, PTES_PER_PTP, PTP_SPAN
+from repro.common.errors import SimulationError
+from repro.hw.memory import FrameKind, PhysicalMemory
+from repro.hw.pagetable import AddressSpaceTables, PageTablePage, Pte
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory()
+
+
+def make_ptp(memory, base_va=0x40000000):
+    return PageTablePage(frame=memory.allocate(FrameKind.PTP),
+                         base_va=base_va)
+
+
+class TestPteEncoding:
+    def test_roundtrip_pfn(self):
+        pte = Pte.make(0x12345, writable=True, executable=True)
+        assert Pte.pfn(pte) == 0x12345
+        assert Pte.is_valid(pte)
+        assert Pte.is_writable(pte)
+        assert Pte.is_executable(pte)
+        assert not Pte.is_global(pte)
+
+    def test_global_bit(self):
+        pte = Pte.make(1, global_=True)
+        assert Pte.is_global(pte)
+
+    def test_write_protect_clears_only_write(self):
+        pte = Pte.make(7, writable=True, executable=True, global_=True)
+        protected = Pte.write_protect(pte)
+        assert not Pte.is_writable(protected)
+        assert Pte.is_executable(protected)
+        assert Pte.is_global(protected)
+        assert Pte.pfn(protected) == 7
+
+    @given(st.integers(min_value=0, max_value=(1 << 20) - 1),
+           st.booleans(), st.booleans(), st.booleans(), st.booleans())
+    def test_encoding_preserves_all_fields(self, pfn, writable, global_,
+                                           executable, large):
+        pte = Pte.make(pfn, writable=writable, global_=global_,
+                       executable=executable, large=large)
+        assert Pte.pfn(pte) == pfn
+        assert Pte.is_writable(pte) == writable
+        assert Pte.is_global(pte) == global_
+        assert Pte.is_executable(pte) == executable
+        assert bool(pte & Pte.LARGE) == large
+
+
+class TestPageTablePage:
+    def test_set_and_clear_track_valid_count(self, memory):
+        ptp = make_ptp(memory)
+        ptp.set(0, Pte.make(1))
+        ptp.set(511, Pte.make(2))
+        assert ptp.valid_count == 2
+        # Overwriting a valid entry does not double count.
+        ptp.set(0, Pte.make(3))
+        assert ptp.valid_count == 2
+        old = ptp.clear(0)
+        assert Pte.pfn(old) == 3
+        assert ptp.valid_count == 1
+
+    def test_set_invalid_pte_rejected(self, memory):
+        ptp = make_ptp(memory)
+        with pytest.raises(SimulationError):
+            ptp.set(0, 0)
+
+    def test_shadow_young_dirty(self, memory):
+        ptp = make_ptp(memory)
+        ptp.set(4, Pte.make(9))
+        assert ptp.is_young(4)  # Set marks young.
+        ptp.mark_dirty(4)
+        assert ptp.shadow[4] & Pte.SHADOW_DIRTY
+
+    def test_clear_resets_shadow(self, memory):
+        ptp = make_ptp(memory)
+        ptp.set(4, Pte.make(9))
+        ptp.clear(4)
+        assert not ptp.is_young(4)
+
+    def test_pte_paddr_identity(self, memory):
+        """Shared PTPs imply shared PTE cache lines (paper, Figure 1)."""
+        ptp = make_ptp(memory)
+        assert ptp.pte_paddr(0) == ptp.frame.paddr
+        assert ptp.pte_paddr(3) == ptp.frame.paddr + 12
+        other = make_ptp(memory)
+        assert ptp.pte_paddr(3) != other.pte_paddr(3)
+
+    def test_write_protect_all(self, memory):
+        ptp = make_ptp(memory)
+        ptp.set(0, Pte.make(1, writable=True))
+        ptp.set(1, Pte.make(2, writable=False))
+        ptp.set(2, Pte.make(3, writable=True))
+        changed = ptp.write_protect_all()
+        assert changed == 2
+        assert ptp.write_protected
+        assert all(not Pte.is_writable(pte) for _, pte in ptp.iter_valid())
+
+    def test_copy_entries_all(self, memory):
+        src, dst = make_ptp(memory), make_ptp(memory)
+        for index in (0, 100, 511):
+            src.set(index, Pte.make(index + 1))
+        copied = src.copy_entries_to(dst)
+        assert copied == 3
+        assert dst.valid_count == 3
+        assert Pte.pfn(dst.get(100)) == 101
+
+    def test_copy_entries_referenced_only(self, memory):
+        """The Section 3.1.3 ablation: skip unreferenced PTEs."""
+        src, dst = make_ptp(memory), make_ptp(memory)
+        src.set(0, Pte.make(1))
+        src.set(1, Pte.make(2))
+        src.shadow[1] = 0  # Simulate never-referenced.
+        copied = src.copy_entries_to(dst, only_referenced=True)
+        assert copied == 1
+        assert Pte.is_valid(dst.get(0))
+        assert not Pte.is_valid(dst.get(1))
+
+    def test_iter_valid_yields_sorted_indexes(self, memory):
+        ptp = make_ptp(memory)
+        for index in (200, 5, 77):
+            ptp.set(index, Pte.make(index))
+        assert [i for i, _ in ptp.iter_valid()] == [5, 77, 200]
+
+    @given(st.sets(st.integers(min_value=0, max_value=PTES_PER_PTP - 1),
+                   max_size=64))
+    def test_valid_count_matches_iteration(self, indexes):
+        memory = PhysicalMemory()
+        ptp = make_ptp(memory)
+        for index in indexes:
+            ptp.set(index, Pte.make(index + 1))
+        assert ptp.valid_count == len(indexes)
+        assert ptp.valid_count == sum(1 for _ in ptp.iter_valid())
+
+
+class TestAddressSpaceTables:
+    def test_install_takes_frame_reference(self, memory):
+        tables = AddressSpaceTables()
+        ptp = make_ptp(memory)
+        tables.install(512, ptp)
+        assert ptp.frame.mapcount == 1
+
+    def test_double_install_rejected(self, memory):
+        tables = AddressSpaceTables()
+        tables.install(512, make_ptp(memory))
+        with pytest.raises(SimulationError):
+            tables.install(512, make_ptp(memory))
+
+    def test_detach_drops_reference(self, memory):
+        tables = AddressSpaceTables()
+        ptp = make_ptp(memory)
+        tables.install(512, ptp)
+        returned = tables.detach(512)
+        assert returned is ptp
+        assert ptp.frame.mapcount == 0
+        assert tables.slot(512) is None
+
+    def test_detach_empty_slot_rejected(self, memory):
+        with pytest.raises(SimulationError):
+            AddressSpaceTables().detach(3)
+
+    def test_lookup_pte(self, memory):
+        tables = AddressSpaceTables()
+        vaddr = 0x40001000
+        slot_index = tables.slot_index(vaddr)
+        ptp = make_ptp(memory)
+        tables.install(slot_index, ptp)
+        assert tables.lookup_pte(vaddr) is None  # Not populated yet.
+        ptp.set(1, Pte.make(42))
+        found = tables.lookup_pte(vaddr)
+        assert found is not None
+        assert found[0] is ptp and found[1] == 1
+        assert Pte.pfn(found[2]) == 42
+
+    def test_sharing_one_ptp_between_two_trees(self, memory):
+        """The core structural idea: two spaces, one PTP."""
+        parent, child = AddressSpaceTables(), AddressSpaceTables()
+        ptp = make_ptp(memory)
+        parent.install(512, ptp)
+        child.install(512, ptp, need_copy=True)
+        assert ptp.sharer_count == 2
+        ptp.set(7, Pte.make(99))
+        # Visible through both trees.
+        vaddr = 512 * PTP_SPAN + 7 * 4096
+        assert parent.lookup_pte(vaddr) is not None
+        assert child.lookup_pte(vaddr) is not None
+        assert child.slot(512).need_copy
+
+    def test_populated_slots_sorted(self, memory):
+        tables = AddressSpaceTables()
+        for index in (900, 512, 700):
+            tables.install(index, make_ptp(memory))
+        assert [i for i, _ in tables.populated_slots()] == [512, 700, 900]
+
+    def test_valid_pte_count(self, memory):
+        tables = AddressSpaceTables()
+        ptp = make_ptp(memory)
+        tables.install(512, ptp)
+        ptp.set(0, Pte.make(1))
+        ptp.set(1, Pte.make(2))
+        assert tables.valid_pte_count() == 2
+
+    def test_slot_domain_recorded(self, memory):
+        tables = AddressSpaceTables()
+        tables.install(512, make_ptp(memory), domain=2)
+        assert tables.slot(512).domain == 2

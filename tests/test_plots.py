@@ -1,0 +1,79 @@
+"""Plain-text chart rendering."""
+
+import pytest
+
+from repro.common.stats import boxplot
+from repro.experiments.plots import (
+    bar_chart,
+    boxplot_panel,
+    boxplot_strip,
+    cdf_plot,
+    percent_bar_chart,
+)
+
+
+class TestBarCharts:
+    def test_scaling_to_peak(self):
+        chart = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_half_block_rounding(self):
+        chart = bar_chart({"a": 10.0, "b": 5.5}, width=10)
+        assert "▌" in chart.splitlines()[1]
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"long label": 1.0, "x": 1.0})
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_empty_input(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_percent_fixed_scale(self):
+        chart = percent_bar_chart({"half": 50.0, "full": 100.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 20
+
+    def test_percent_clamps_negative(self):
+        chart = percent_bar_chart({"neg": -5.0}, width=20)
+        assert "█" not in chart
+
+
+class TestCdfPlot:
+    def test_monotone_bars(self):
+        chart = cdf_plot([(1, 0.25), (2, 0.5), (3, 1.0)], width=8)
+        lines = chart.splitlines()
+        counts = [line.count("█") for line in lines]
+        assert counts == sorted(counts)
+        assert "100%" in lines[-1]
+
+
+class TestBoxplotStrips:
+    def test_strip_structure(self):
+        box = boxplot([0.0, 25.0, 50.0, 75.0, 100.0])
+        strip = boxplot_strip(box, 0.0, 100.0, width=41)
+        assert strip[0] == "|"
+        assert strip[-1] == "|"
+        assert "M" in strip
+        assert "[" in strip and "]" in strip
+        assert strip.index("[") < strip.index("M") < strip.index("]")
+
+    def test_panel_shared_axis(self):
+        panel = boxplot_panel({
+            "fast": boxplot([1.0, 2.0, 3.0]),
+            "slow": boxplot([7.0, 8.0, 9.0]),
+        }, width=30)
+        lines = panel.splitlines()
+        # The fast series sits left of the slow one on the shared axis.
+        assert lines[0].index("M") < lines[1].index("M")
+        assert "med=" in lines[0]
+
+    def test_panel_degenerate_range(self):
+        panel = boxplot_panel({"flat": boxplot([5.0, 5.0, 5.0])})
+        assert "M" in panel
+
+    def test_empty_panel(self):
+        assert boxplot_panel({}, title="t") == "t"

@@ -1,0 +1,196 @@
+"""Property-based tests: random operation sequences must preserve the
+kernel's structural invariants (see tests/invariants.py)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.common.constants import PAGE_SIZE, PTP_SPAN
+from repro.common.errors import VmaError
+from repro.common.events import ifetch, load, store
+from repro.common.perms import MapFlags, Prot
+from tests.conftest import make_kernel
+from tests.invariants import check_kernel_invariants
+
+ANON = MapFlags.PRIVATE | MapFlags.ANONYMOUS
+
+#: The playground: three 2MB slots of file-backed content, one of anon.
+CODE_BASE = 0x4000_0000
+DATA_BASE = 0x4020_0000
+HEAP_BASE = 0x5000_0000
+SPARE_BASE = 0x5020_0000
+
+
+class SharingMachine(RuleBasedStateMachine):
+    """Random fork/access/syscall/exit sequences on a shared-PTP kernel."""
+
+    def __init__(self):
+        super().__init__()
+        self.kernel = make_kernel("shared-ptp")
+        self.zygote = self.kernel.create_process("zygote")
+        self.kernel.exec_zygote(self.zygote)
+        file = self.kernel.page_cache.create_file("lib", 96)
+        self.kernel.syscalls.mmap(
+            self.zygote, 32 * PAGE_SIZE, Prot.READ | Prot.EXEC,
+            MapFlags.PRIVATE, file=file, addr=CODE_BASE)
+        self.kernel.syscalls.mmap(
+            self.zygote, 16 * PAGE_SIZE, Prot.READ | Prot.WRITE,
+            MapFlags.PRIVATE, file=file, file_page_offset=32,
+            addr=DATA_BASE)
+        self.kernel.syscalls.mmap(
+            self.zygote, 32 * PAGE_SIZE, Prot.READ | Prot.WRITE, ANON,
+            addr=HEAP_BASE)
+        self.kernel.run(self.zygote, [ifetch(CODE_BASE),
+                                      store(HEAP_BASE)])
+        self.children = []
+        self.spare_regions = []
+
+    # -- rules ---------------------------------------------------------
+
+    @rule()
+    def fork_child(self):
+        if len(self.children) >= 6:
+            return
+        child, _ = self.kernel.fork(self.zygote, f"c{len(self.children)}")
+        self.children.append(child)
+
+    def _any_task(self, index):
+        pool = [self.zygote] + self.children
+        return pool[index % len(pool)]
+
+    @rule(index=st.integers(0, 6), page=st.integers(0, 31))
+    def fetch_code(self, index, page):
+        task = self._any_task(index)
+        self.kernel.run(task, [ifetch(CODE_BASE + page * PAGE_SIZE)])
+
+    @rule(index=st.integers(0, 6), page=st.integers(0, 15))
+    def read_data(self, index, page):
+        task = self._any_task(index)
+        addr = DATA_BASE + page * PAGE_SIZE
+        if task.mm.find_vma(addr) is None:
+            return  # This task munmapped the page earlier.
+        self.kernel.run(task, [load(addr)])
+
+    @rule(index=st.integers(0, 6), page=st.integers(0, 15))
+    def write_data(self, index, page):
+        task = self._any_task(index)
+        addr = DATA_BASE + page * PAGE_SIZE
+        vma = task.mm.find_vma(addr)
+        if vma is None or not vma.prot.writable:
+            return
+        self.kernel.run(task, [store(addr)])
+
+    @rule(index=st.integers(0, 6), page=st.integers(0, 31))
+    def write_heap(self, index, page):
+        task = self._any_task(index)
+        self.kernel.run(task, [store(HEAP_BASE + page * PAGE_SIZE)])
+
+    @rule(index=st.integers(0, 6))
+    def map_new_region_in_shared_slot(self, index):
+        task = self._any_task(index)
+        try:
+            vma = self.kernel.syscalls.mmap(
+                task, 2 * PAGE_SIZE, Prot.READ | Prot.WRITE, ANON,
+                addr=SPARE_BASE)
+        except VmaError:
+            return  # Already mapped in this task.
+        self.kernel.run(task, [store(vma.start)])
+
+    @rule(index=st.integers(0, 6), pages=st.integers(1, 8))
+    def munmap_data_prefix(self, index, pages):
+        task = self._any_task(index)
+        if task.mm.find_vma(DATA_BASE) is None:
+            return
+        self.kernel.syscalls.munmap(task, DATA_BASE, pages * PAGE_SIZE)
+
+    @rule(index=st.integers(0, 6))
+    def mprotect_heap_readonly(self, index):
+        task = self._any_task(index)
+        if task.mm.find_vma(HEAP_BASE) is None:
+            return
+        self.kernel.syscalls.mprotect(task, HEAP_BASE, 4 * PAGE_SIZE,
+                                      Prot.READ)
+        # Restore writability so later heap writes stay legal.
+        self.kernel.syscalls.mprotect(task, HEAP_BASE, 4 * PAGE_SIZE,
+                                      Prot.READ | Prot.WRITE)
+
+    @rule()
+    def exit_oldest_child(self):
+        if not self.children:
+            return
+        child = self.children.pop(0)
+        self.kernel.exit_task(child)
+
+    # -- invariants ----------------------------------------------------
+
+    @invariant()
+    def kernel_consistent(self):
+        check_kernel_invariants(self.kernel)
+
+
+TestSharingMachine = SharingMachine.TestCase
+TestSharingMachine.settings = settings(
+    max_examples=25,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestInvariantsAfterScenarios:
+    """Directed (non-random) end-to-end invariant checks."""
+
+    def test_after_full_android_lifecycle(self):
+        from repro.common.rng import DeterministicRng
+        from repro.workloads.profiles import HELLOWORLD
+        from repro.workloads.session import launch_app
+        from tests.conftest import make_small_runtime
+
+        runtime = make_small_runtime("shared-ptp")
+        check_kernel_invariants(runtime.kernel)
+        for round_index in range(2):
+            session = launch_app(runtime, HELLOWORLD,
+                                 DeterministicRng(1, "inv"),
+                                 round_seed=round_index,
+                                 revisit_passes=0)
+            check_kernel_invariants(runtime.kernel)
+            session.finish()
+            check_kernel_invariants(runtime.kernel)
+
+    def test_after_binder_benchmark(self):
+        from repro.android.binder import BinderBenchmark, BinderConfig
+        from tests.conftest import make_small_runtime
+
+        runtime = make_small_runtime("shared-ptp-tlb")
+        bench = BinderBenchmark(runtime, config=BinderConfig(
+            invocations=10, warmup_invocations=2, binder_pages=8,
+            server_framework_pages=4, client_private_pages=4,
+            server_private_pages=8, noise_every=3, noise_pages=6,
+            noise_colliding_pages=3))
+        bench.run()
+        check_kernel_invariants(runtime.kernel)
+
+    @given(st.lists(st.sampled_from(["fork", "write", "exit"]),
+                    min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_fork_write_exit_sequences(self, operations):
+        kernel = make_kernel("shared-ptp")
+        parent = kernel.create_process("parent")
+        heap = kernel.syscalls.mmap(parent, 8 * PAGE_SIZE,
+                                    Prot.READ | Prot.WRITE, ANON)
+        kernel.run(parent, [store(heap.start)])
+        children = []
+        for op in operations:
+            if op == "fork":
+                child, _ = kernel.fork(parent, "c")
+                children.append(child)
+            elif op == "write" and children:
+                kernel.run(children[-1], [store(heap.start)])
+            elif op == "exit" and children:
+                kernel.exit_task(children.pop())
+            check_kernel_invariants(kernel)

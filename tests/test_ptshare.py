@@ -1,0 +1,245 @@
+"""The shared-PTP protocol (the paper's core contribution, Section 3.1)."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE, PTP_SPAN
+from repro.common.events import ifetch, load, store
+from repro.common.perms import MapFlags, Prot
+from repro.hw.pagetable import Pte
+from tests.conftest import make_kernel
+
+ANON = MapFlags.PRIVATE | MapFlags.ANONYMOUS
+
+
+class _Env:
+    """A 'zygote-like' parent with code, data and heap regions."""
+
+    def __init__(self, config="shared-ptp", **overrides):
+        self.kernel = make_kernel(config, **overrides)
+        self.parent = self.kernel.create_process("parent")
+        self.file = self.kernel.page_cache.create_file("lib", 64)
+        # Code and data in the SAME 2MB slot (original-layout coupling).
+        self.code = self.kernel.syscalls.mmap(
+            self.parent, 16 * PAGE_SIZE, Prot.READ | Prot.EXEC,
+            MapFlags.PRIVATE, file=self.file, addr=0x40000000)
+        self.data = self.kernel.syscalls.mmap(
+            self.parent, 4 * PAGE_SIZE, Prot.READ | Prot.WRITE,
+            MapFlags.PRIVATE, file=self.file, file_page_offset=16,
+            addr=0x40010000)
+        # Heap in a different slot.
+        self.heap = self.kernel.syscalls.mmap(
+            self.parent, 8 * PAGE_SIZE, Prot.READ | Prot.WRITE, ANON,
+            addr=0x50000000)
+        # Stack (never shared by design choice).
+        self.stack = self.kernel.syscalls.mmap(
+            self.parent, 8 * PAGE_SIZE, Prot.READ | Prot.WRITE,
+            ANON | MapFlags.GROWSDOWN, addr=0x60000000)
+        # Populate some PTEs.
+        self.kernel.run(self.parent, [
+            ifetch(self.code.start + i * PAGE_SIZE) for i in range(8)
+        ] + [store(self.heap.start + i * PAGE_SIZE) for i in range(4)]
+          + [store(self.stack.start)])
+
+    def slot(self, task, vaddr):
+        return task.mm.tables.slot_for(vaddr)
+
+    def fork(self, name="child"):
+        child, report = self.kernel.fork(self.parent, name)
+        return child, report
+
+
+class TestShareAtFork:
+    def test_child_references_parent_ptp(self):
+        env = _Env()
+        child, report = env.fork()
+        parent_slot = env.slot(env.parent, env.code.start)
+        child_slot = env.slot(child, env.code.start)
+        assert child_slot.ptp is parent_slot.ptp
+        assert parent_slot.need_copy and child_slot.need_copy
+        assert parent_slot.ptp.sharer_count == 2
+
+    def test_stack_slot_not_shared(self):
+        env = _Env()
+        child, report = env.fork()
+        child_stack_slot = env.slot(child, env.stack.start)
+        parent_stack_slot = env.slot(env.parent, env.stack.start)
+        assert child_stack_slot.ptp is not parent_stack_slot.ptp
+        assert not parent_stack_slot.need_copy
+
+    def test_first_share_write_protects_writable_ptes(self):
+        env = _Env()
+        heap_pte_before = env.parent.mm.tables.lookup_pte(env.heap.start)[2]
+        assert Pte.is_writable(heap_pte_before)
+        env.fork()
+        heap_pte_after = env.parent.mm.tables.lookup_pte(env.heap.start)[2]
+        assert not Pte.is_writable(heap_pte_after)
+
+    def test_second_fork_skips_write_protect_pass(self):
+        env = _Env()
+        _, first = env.fork("c1")
+        _, second = env.fork("c2")
+        assert first.ptes_write_protected > 0
+        assert second.ptes_write_protected == 0
+        # Three sharers now.
+        assert env.slot(env.parent, env.code.start).ptp.sharer_count == 3
+
+    def test_fork_report_counts(self):
+        env = _Env()
+        child, report = env.fork()
+        # code+data slot, heap slot shared; stack is fallback.
+        assert report.slots_shared == 2
+        assert report.child_ptps_allocated == 1  # The stack PTP.
+        assert report.ptes_copied == 1  # The stack PTE.
+
+
+class TestSoftFaultElimination:
+    def test_child_inherits_populated_ptes(self):
+        env = _Env()
+        child, _ = env.fork()
+        env.kernel.run(child, [ifetch(env.code.start)])
+        assert child.counters.total_faults == 0
+
+    def test_pte_populated_by_child_visible_to_parent(self):
+        env = _Env()
+        child, _ = env.fork()
+        new_page = env.code.start + 12 * PAGE_SIZE
+        assert env.parent.mm.tables.lookup_pte(new_page) is None
+        env.kernel.run(child, [ifetch(new_page)])
+        assert env.parent.mm.tables.lookup_pte(new_page) is not None
+
+    def test_read_fault_populates_shared_ptp_readonly(self):
+        env = _Env()
+        child, _ = env.fork()
+        env.kernel.run(child, [load(env.data.start)])
+        slot = env.slot(child, env.data.start)
+        assert slot.need_copy  # Still shared after a read fault.
+        pte = child.mm.tables.lookup_pte(env.data.start)[2]
+        assert not Pte.is_writable(pte)
+
+
+class TestUnshareTriggers:
+    def test_write_fault_unshares(self):
+        env = _Env()
+        child, _ = env.fork()
+        shared_ptp = env.slot(child, env.data.start).ptp
+        env.kernel.run(child, [store(env.data.start)])
+        child_slot = env.slot(child, env.data.start)
+        assert child_slot.ptp is not shared_ptp
+        assert not child_slot.need_copy
+        assert shared_ptp.sharer_count == 1
+        assert child.counters.unshare_by_trigger.get("write-fault") == 1
+        # The parent keeps the original (still flagged NEED_COPY).
+        assert env.slot(env.parent, env.data.start).ptp is shared_ptp
+
+    def test_unshare_copies_valid_ptes(self):
+        env = _Env()
+        child, _ = env.fork()
+        env.kernel.run(child, [store(env.data.start)])
+        # The 8 code PTEs were copied into the private PTP.
+        assert child.counters.ptes_copied_unshare >= 8
+        assert child.mm.tables.lookup_pte(env.code.start) is not None
+
+    def test_data_write_unshares_code_in_same_slot(self):
+        """The original-layout coupling the 2MB recompilation fixes."""
+        env = _Env()
+        child, _ = env.fork()
+        code_slot_before = env.slot(child, env.code.start).ptp
+        env.kernel.run(child, [store(env.data.start)])
+        assert env.slot(child, env.code.start).ptp is not code_slot_before
+
+    def test_mmap_in_shared_range_unshares(self):
+        env = _Env()
+        child, _ = env.fork()
+        env.kernel.syscalls.mmap(
+            child, PAGE_SIZE, Prot.READ | Prot.WRITE, ANON,
+            addr=env.code.start + 0x180000)  # Same 2MB slot as code.
+        assert child.counters.unshare_by_trigger.get("new-region") == 1
+        assert not env.slot(child, env.code.start).need_copy
+
+    def test_munmap_in_shared_range_unshares_then_clears(self):
+        env = _Env()
+        child, _ = env.fork()
+        env.kernel.syscalls.munmap(child, env.data.start,
+                                   env.data.end - env.data.start)
+        assert child.counters.unshare_by_trigger.get("region-free") == 1
+        assert child.mm.tables.lookup_pte(env.data.start) is None
+        # Parent's mapping is untouched.
+        assert env.parent.mm.find_vma(env.data.start) is not None
+
+    def test_mprotect_unshares(self):
+        env = _Env()
+        child, _ = env.fork()
+        env.kernel.syscalls.mprotect(child, env.data.start, PAGE_SIZE,
+                                     Prot.READ)
+        assert child.counters.unshare_by_trigger.get("region-modify") == 1
+
+    def test_exit_last_sharer_reclaims(self):
+        env = _Env()
+        child, _ = env.fork()
+        ptp = env.slot(env.parent, env.code.start).ptp
+        env.kernel.exit_task(child)
+        assert ptp.sharer_count == 1
+        # Parent exit reclaims the PTP frame.
+        env.kernel.exit_task(env.parent)
+        assert env.kernel.memory.live_frames(
+            __import__("repro.hw.memory", fromlist=["FrameKind"]).FrameKind.PTP
+        ) == 0
+
+    def test_last_sharer_unshare_is_cheap(self):
+        """Sharer count 1: just clear NEED_COPY (Figure 6 fast path)."""
+        env = _Env()
+        child, _ = env.fork()
+        env.kernel.exit_task(child)
+        ptp_before = env.slot(env.parent, env.data.start).ptp
+        env.kernel.run(env.parent, [store(env.data.start)])
+        slot = env.slot(env.parent, env.data.start)
+        assert slot.ptp is ptp_before  # No copy.
+        assert not slot.need_copy
+        assert env.parent.counters.ptes_copied_unshare == 0
+
+
+class TestRangeUnshare:
+    def test_multi_slot_syscall_unshares_every_slot(self):
+        """Section 3.1.2 case 2: a range spanning multiple PTPs."""
+        env = _Env()
+        # A big region spanning 3 slots.
+        big = env.kernel.syscalls.mmap(
+            env.parent, 3 * PTP_SPAN, Prot.READ | Prot.WRITE, ANON,
+            addr=0x70000000)
+        env.kernel.run(env.parent, [
+            store(big.start), store(big.start + PTP_SPAN),
+            store(big.start + 2 * PTP_SPAN),
+        ])
+        child, _ = env.fork()
+        env.kernel.syscalls.mprotect(child, big.start, 3 * PTP_SPAN,
+                                     Prot.READ)
+        assert child.counters.unshare_by_trigger["region-modify"] == 3
+
+
+class TestAblations:
+    def test_referenced_only_copy_skips_cold_ptes(self):
+        env = _Env(unshare_copy_referenced_only=True)
+        child, _ = env.fork()
+        # Mark most code PTEs unreferenced in the shared PTP.
+        slot = env.slot(child, env.code.start)
+        for index, _ in list(slot.ptp.iter_valid()):
+            slot.ptp.shadow[index] = 0
+        env.kernel.run(child, [store(env.data.start)])
+        # Nothing was referenced, so (almost) nothing was copied.
+        assert child.counters.ptes_copied_unshare <= 2
+
+    def test_x86_l1_write_protect_skips_pass(self):
+        env = _Env(x86_style_l1_write_protect=True)
+        child, report = env.fork()
+        assert report.ptes_write_protected == 0
+        # The PTP is still marked shared/COW.
+        assert env.slot(child, env.code.start).need_copy
+
+
+class TestSharedCounters:
+    def test_shared_slot_count(self):
+        env = _Env()
+        child, _ = env.fork()
+        assert env.kernel.shared_ptp_count(child) == 2
+        env.kernel.run(child, [store(env.data.start)])
+        assert env.kernel.shared_ptp_count(child) == 1

@@ -1,0 +1,98 @@
+"""Result-object arithmetic, on synthetic measurements (no simulation)."""
+
+import pytest
+
+from repro.workloads.session import LaunchMeasurement
+from repro.experiments.launch import LAUNCH_CONFIGS, LaunchResult, LaunchSeries
+from repro.experiments.steady import SteadyAppResult, SteadyResult
+
+
+def measurement(cycles, l1i=1.0, faults=100, ptps=10) -> LaunchMeasurement:
+    return LaunchMeasurement(
+        cycles=cycles, instructions=int(cycles), kernel_instructions=0,
+        l1i_stall=l1i, l1d_stall=0.0, itlb_stall=0.0, dtlb_stall=0.0,
+        fault_overhead=0.0, file_backed_faults=faults, soft_faults=faults,
+        total_faults=faults, ptps_allocated=ptps, ptes_copied=0,
+        unshare_events=0, shared_ptps_end=0, populated_slots_end=ptps,
+    )
+
+
+class TestLaunchSeries:
+    def test_boxplot_and_means(self):
+        series = LaunchSeries(label="x", measurements=[
+            measurement(10.0, faults=100, ptps=8),
+            measurement(30.0, faults=200, ptps=12),
+            measurement(20.0, faults=300, ptps=10),
+        ])
+        assert series.cycles_box.median == 20.0
+        assert series.median_cycles == 20.0
+        assert series.mean_file_faults == 200.0
+        assert series.mean_ptps == 10.0
+
+
+class TestLaunchResult:
+    def make_result(self):
+        labels = [label for label, _, _ in LAUNCH_CONFIGS]
+        cycles = {labels[0]: 100.0, labels[1]: 90.0,
+                  labels[2]: 102.0, labels[3]: 88.0}
+        series = {
+            label: LaunchSeries(label=label, measurements=[
+                measurement(cycles[label]), measurement(cycles[label]),
+            ])
+            for label in labels
+        }
+        return LaunchResult(series=series)
+
+    def test_speedup_vs_baseline(self):
+        result = self.make_result()
+        assert result.speedup("Shared PTP & TLB") == pytest.approx(0.10)
+
+    def test_renders_mention_paper(self):
+        result = self.make_result()
+        assert "(paper 7%)" in result.render_figure7()
+        assert "paper 15%" in result.render_figure8()
+        assert "Figure 9" in result.render_figure9()
+
+
+class TestSteadyResult:
+    def make_result(self):
+        apps = ["A"]
+        data = {
+            ("stock", "A"): (1000, 100, 3900, 0, 100),
+            ("shared", "A"): (500, 40, 3000, 55, 100),
+            ("stock-2mb", "A"): (1000, 180, 3900, 0, 180),
+            ("shared-2mb", "A"): (450, 60, 2400, 130, 180),
+        }
+        results = {
+            key: SteadyAppResult(
+                app=key[1], config=key[0], file_faults=v[0],
+                ptps_allocated=v[1], ptes_copied=v[2], shared_ptps=v[3],
+                populated_slots=v[4],
+            )
+            for key, v in data.items()
+        }
+        return SteadyResult(results=results, apps=apps)
+
+    def test_fault_reduction(self):
+        result = self.make_result()
+        assert result.fault_reduction("A") == pytest.approx(0.5)
+        assert result.fault_reduction("A", aligned=True) == (
+            pytest.approx(0.55)
+        )
+        assert result.average_fault_reduction == pytest.approx(0.5)
+
+    def test_shared_fraction(self):
+        result = self.make_result()
+        assert result.get("shared", "A").shared_fraction == (
+            pytest.approx(0.55)
+        )
+
+    def test_renders(self):
+        result = self.make_result()
+        assert "Figure 10" in result.render_figure10()
+        assert "Figure 11" in result.render_figure11()
+        assert "Figure 12" in result.render_figure12()
+        assert "PTEs copied" in result.render_pte_copies()
+        full = result.render()
+        for part in ("Figure 10", "Figure 11", "Figure 12"):
+            assert part in full

@@ -1,0 +1,58 @@
+"""The satr CLI entry point and the runnable examples."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import runner
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestCli:
+    def test_main_runs_one_target(self, capsys):
+        exit_code = runner.main(["table2", "--scale", "quick"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "=== table2" in out
+        assert "Table 2" in out
+
+    def test_main_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            runner.main(["figure99"])
+
+    def test_main_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            runner.main(["table4", "--scale", "galactic"])
+
+    def test_console_script_registered(self):
+        # pyproject maps `satr` to this main().
+        from repro.experiments.runner import main
+        assert callable(main)
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "pagetable_walkthrough.py",
+    "scalability_study.py",
+])
+def test_example_runs(script):
+    """Each example completes and prints something meaningful."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert len(result.stdout.splitlines()) >= 3
+
+
+def test_examples_exist_and_are_documented():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        text = script.read_text()
+        assert '"""' in text, f"{script.name} lacks a docstring"
+        assert "def main" in text

@@ -1,0 +1,134 @@
+"""mmap / munmap / mprotect semantics."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE, PTP_SPAN
+from repro.common.errors import VmaError
+from repro.common.events import ifetch, load, store
+from repro.common.perms import MapFlags, Prot
+from repro.hw.memory import FrameKind
+from repro.hw.pagetable import Pte
+from tests.conftest import make_kernel
+
+ANON = MapFlags.PRIVATE | MapFlags.ANONYMOUS
+
+
+@pytest.fixture
+def env():
+    kernel = make_kernel("shared-ptp")
+    task = kernel.create_process("proc")
+    return kernel, task
+
+
+class TestMmap:
+    def test_length_rounded_to_pages(self, env):
+        kernel, task = env
+        vma = kernel.syscalls.mmap(task, 100, Prot.READ, ANON)
+        assert vma.num_pages == 1
+
+    def test_explicit_address_honoured(self, env):
+        kernel, task = env
+        vma = kernel.syscalls.mmap(task, PAGE_SIZE, Prot.READ, ANON,
+                                   addr=0x50000000)
+        assert vma.start == 0x50000000
+
+    def test_alignment_honoured(self, env):
+        kernel, task = env
+        vma = kernel.syscalls.mmap(task, PAGE_SIZE, Prot.READ, ANON,
+                                   alignment=PTP_SPAN)
+        assert vma.start % PTP_SPAN == 0
+
+    def test_overlap_rejected(self, env):
+        kernel, task = env
+        kernel.syscalls.mmap(task, PAGE_SIZE, Prot.READ, ANON,
+                             addr=0x50000000)
+        with pytest.raises(VmaError):
+            kernel.syscalls.mmap(task, PAGE_SIZE, Prot.READ, ANON,
+                                 addr=0x50000000)
+
+    def test_syscall_cost_charged(self, env):
+        kernel, task = env
+        before = task.stats.syscall_cycles
+        kernel.syscalls.mmap(task, PAGE_SIZE, Prot.READ, ANON)
+        assert task.stats.syscall_cycles > before
+
+
+class TestMunmap:
+    def test_clears_ptes_and_drops_frames(self, env):
+        kernel, task = env
+        vma = kernel.syscalls.mmap(task, 4 * PAGE_SIZE,
+                                   Prot.READ | Prot.WRITE, ANON)
+        kernel.run(task, [store(vma.start + i * PAGE_SIZE)
+                          for i in range(4)])
+        anon_before = kernel.memory.live_frames(FrameKind.ANON)
+        cleared = kernel.syscalls.munmap(task, vma.start, 4 * PAGE_SIZE)
+        assert cleared == 4
+        assert task.mm.find_vma(vma.start) is None
+        assert kernel.memory.live_frames(FrameKind.ANON) == anon_before - 4
+
+    def test_partial_munmap_splits(self, env):
+        kernel, task = env
+        vma = kernel.syscalls.mmap(task, 8 * PAGE_SIZE, Prot.READ, ANON,
+                                   addr=0x50000000)
+        kernel.syscalls.munmap(task, vma.start + 2 * PAGE_SIZE,
+                               2 * PAGE_SIZE)
+        assert task.mm.find_vma(vma.start) is not None
+        assert task.mm.find_vma(vma.start + 2 * PAGE_SIZE) is None
+        assert task.mm.find_vma(vma.start + 4 * PAGE_SIZE) is not None
+
+    def test_munmap_of_file_mapping_keeps_page_cache(self, env):
+        kernel, task = env
+        file = kernel.page_cache.create_file("lib", 4)
+        vma = kernel.syscalls.mmap(task, 4 * PAGE_SIZE, Prot.READ,
+                                   MapFlags.PRIVATE, file=file)
+        kernel.run(task, [load(vma.start)])
+        kernel.syscalls.munmap(task, vma.start, 4 * PAGE_SIZE)
+        assert kernel.page_cache.lookup(file, 0) is not None
+
+    def test_munmap_flushes_tlb(self, env):
+        kernel, task = env
+        vma = kernel.syscalls.mmap(task, PAGE_SIZE,
+                                   Prot.READ | Prot.WRITE, ANON)
+        kernel.run(task, [store(vma.start)])
+        core = kernel.platform.cores[0]
+        assert core.main_tlb.lookup(vma.start >> 12, task.asid) is not None
+        kernel.syscalls.munmap(task, vma.start, PAGE_SIZE)
+        assert core.main_tlb.lookup(vma.start >> 12, task.asid) is None
+
+
+class TestMprotect:
+    def test_removing_write_protects_ptes(self, env):
+        kernel, task = env
+        vma = kernel.syscalls.mmap(task, 2 * PAGE_SIZE,
+                                   Prot.READ | Prot.WRITE, ANON)
+        kernel.run(task, [store(vma.start)])
+        kernel.syscalls.mprotect(task, vma.start, 2 * PAGE_SIZE, Prot.READ)
+        inner = task.mm.find_vma(vma.start)
+        assert inner.prot == Prot.READ
+        pte = task.mm.tables.lookup_pte(vma.start)[2]
+        assert not Pte.is_writable(pte)
+
+    def test_partial_mprotect_splits_vma(self, env):
+        kernel, task = env
+        vma = kernel.syscalls.mmap(task, 8 * PAGE_SIZE,
+                                   Prot.READ | Prot.WRITE, ANON,
+                                   addr=0x50000000)
+        kernel.syscalls.mprotect(task, vma.start + 2 * PAGE_SIZE,
+                                 2 * PAGE_SIZE, Prot.READ)
+        assert task.mm.find_vma(vma.start).prot.writable
+        assert not task.mm.find_vma(vma.start + 2 * PAGE_SIZE).prot.writable
+        assert task.mm.find_vma(vma.start + 4 * PAGE_SIZE).prot.writable
+
+    def test_unmapped_range_rejected(self, env):
+        kernel, task = env
+        with pytest.raises(VmaError):
+            kernel.syscalls.mprotect(task, 0x50000000, PAGE_SIZE, Prot.READ)
+
+    def test_write_after_adding_write_permission(self, env):
+        kernel, task = env
+        vma = kernel.syscalls.mmap(task, PAGE_SIZE, Prot.READ, ANON)
+        kernel.run(task, [load(vma.start)])
+        kernel.syscalls.mprotect(task, vma.start, PAGE_SIZE,
+                                 Prot.READ | Prot.WRITE)
+        kernel.run(task, [store(vma.start)])  # Must not segfault.
+        assert task.counters.cow_faults == 1  # Zero-page COW.

@@ -1,0 +1,172 @@
+"""TLB models: matching, flushes, replacement."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.constants import DOMAIN_USER, DOMAIN_ZYGOTE
+from repro.common.errors import ConfigError
+from repro.hw.tlb import MainTlb, MicroTlb, TlbEntry
+
+
+def entry(vpn, asid=1, global_=False, span=1, domain=DOMAIN_USER,
+          writable=False):
+    return TlbEntry(vpn=vpn, asid=asid, pfn=vpn + 1000, writable=writable,
+                    global_=global_, domain=domain, span_pages=span)
+
+
+class TestMatching:
+    def test_asid_match(self):
+        e = entry(10, asid=1)
+        assert e.matches(10, 1)
+        assert not e.matches(10, 2)
+        assert not e.matches(11, 1)
+
+    def test_global_ignores_asid(self):
+        e = entry(10, asid=1, global_=True)
+        assert e.matches(10, 99)
+
+    def test_section_span(self):
+        e = entry(0x100, span=256)
+        assert e.matches(0x100, 1)
+        assert e.matches(0x1FF, 1)
+        assert not e.matches(0x200, 1)
+
+
+class TestMainTlbLookup:
+    def test_hit_and_miss_stats(self):
+        tlb = MainTlb(entries=8, ways=2)
+        tlb.insert(entry(5))
+        assert tlb.lookup(5, 1) is not None
+        assert tlb.lookup(5, 2) is None
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+
+    def test_lru_eviction_within_set(self):
+        tlb = MainTlb(entries=4, ways=2)  # 2 sets.
+        # vpns 0, 2, 4 all map to set 0.
+        tlb.insert(entry(0))
+        tlb.insert(entry(2))
+        tlb.lookup(0, 1)  # 0 becomes MRU.
+        victim = tlb.insert(entry(4))
+        assert victim is not None and victim.vpn == 2
+        assert tlb.lookup(0, 1) is not None
+        assert tlb.lookup(2, 1) is None
+
+    def test_two_asids_coexist(self):
+        tlb = MainTlb(entries=8, ways=2)
+        tlb.insert(entry(5, asid=1))
+        tlb.insert(entry(5, asid=2))
+        assert tlb.lookup(5, 1).asid == 1
+        assert tlb.lookup(5, 2).asid == 2
+
+    def test_section_probe_from_inner_page(self):
+        tlb = MainTlb()
+        tlb.insert(entry(0x100, span=256))
+        assert tlb.lookup(0x1A7, 1) is not None
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            MainTlb(entries=7, ways=2)
+
+
+class TestFlushes:
+    def setup_method(self):
+        self.tlb = MainTlb()
+        self.tlb.insert(entry(1, asid=1))
+        self.tlb.insert(entry(2, asid=2))
+        self.tlb.insert(entry(3, asid=1, global_=True,
+                              domain=DOMAIN_ZYGOTE))
+
+    def test_flush_all_includes_global(self):
+        flushed = self.tlb.flush_all()
+        assert flushed == 3
+        assert self.tlb.occupancy() == 0
+
+    def test_flush_non_global_preserves_global(self):
+        flushed = self.tlb.flush_non_global()
+        assert flushed == 2
+        assert self.tlb.lookup(3, 99) is not None
+        assert self.tlb.lookup(1, 1) is None
+
+    def test_flush_asid_spares_others_and_globals(self):
+        flushed = self.tlb.flush_asid(1)
+        assert flushed == 1
+        assert self.tlb.lookup(2, 2) is not None
+        assert self.tlb.lookup(3, 1) is not None
+
+    def test_flush_va_hits_global_too(self):
+        """The domain-fault handler's TLBIMVAA semantics."""
+        flushed = self.tlb.flush_va(3)
+        assert flushed == 1
+        assert self.tlb.lookup(3, 1) is None
+        assert self.tlb.occupancy() == 2
+
+    def test_flush_va_matches_section_interior(self):
+        tlb = MainTlb()
+        tlb.insert(entry(0x100, span=256))
+        assert tlb.flush_va(0x150) == 1
+        assert tlb.occupancy() == 0
+
+
+class TestMicroTlb:
+    def test_basic_hit_miss(self):
+        micro = MicroTlb(entries=2)
+        assert micro.lookup(1) is None
+        micro.insert(entry(1))
+        assert micro.lookup(1) is not None
+
+    def test_capacity_eviction_lru(self):
+        micro = MicroTlb(entries=2)
+        micro.insert(entry(1))
+        micro.insert(entry(2))
+        micro.lookup(1)
+        micro.insert(entry(3))  # Evicts 2 (LRU).
+        assert micro.lookup(2) is None
+        assert micro.lookup(1) is not None
+
+    def test_flush_clears_everything(self):
+        micro = MicroTlb()
+        micro.insert(entry(1))
+        micro.insert(entry(2))
+        assert micro.flush() == 2
+        assert micro.occupancy() == 0
+
+    def test_key_vpn_for_section_entries(self):
+        """Micro TLBs replicate large translations per accessed page."""
+        micro = MicroTlb()
+        section = entry(0x100, span=256)
+        micro.insert(section, key_vpn=0x123)
+        assert micro.lookup(0x123) is section
+        assert micro.lookup(0x100) is None
+
+    def test_flush_va_removes_matching_span(self):
+        micro = MicroTlb()
+        micro.insert(entry(0x100, span=256), key_vpn=0x123)
+        assert micro.flush_va(0x150) == 1
+        assert micro.occupancy() == 0
+
+    def test_reinsert_same_vpn_no_duplicate(self):
+        micro = MicroTlb(entries=4)
+        micro.insert(entry(1))
+        micro.insert(entry(1))
+        assert micro.occupancy() == 1
+
+
+class TestTlbProperties:
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 3),
+                              st.booleans()), max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, inserts):
+        tlb = MainTlb(entries=16, ways=2)
+        for vpn, asid, global_ in inserts:
+            tlb.insert(entry(vpn, asid=asid, global_=global_))
+            assert tlb.occupancy() <= 16
+            for tlb_set in tlb._sets:
+                assert len(tlb_set) <= 2
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=100))
+    def test_flush_all_after_any_sequence(self, vpns):
+        tlb = MainTlb(entries=32, ways=2)
+        for vpn in vpns:
+            tlb.insert(entry(vpn))
+        tlb.flush_all()
+        assert tlb.occupancy() == 0

@@ -1,0 +1,227 @@
+"""Shared TLB entries (Section 3.2) and scheduler TLB policies."""
+
+import pytest
+
+from repro.common.constants import (
+    DOMAIN_USER,
+    DOMAIN_ZYGOTE,
+    PAGE_SIZE,
+)
+from repro.common.events import ifetch, store
+from repro.common.perms import MapFlags, Prot
+from repro.hw.domain import DomainAccess
+from repro.hw.pagetable import Pte
+from tests.conftest import make_kernel
+
+ANON = MapFlags.PRIVATE | MapFlags.ANONYMOUS
+
+
+def zygote_with_code(kernel, pages=8):
+    zygote = kernel.create_process("zygote")
+    kernel.exec_zygote(zygote)
+    file = kernel.page_cache.create_file("libc", pages)
+    code = kernel.syscalls.mmap(zygote, pages * PAGE_SIZE,
+                                Prot.READ | Prot.EXEC, MapFlags.PRIVATE,
+                                file=file)
+    return zygote, code, file
+
+
+class TestGlobalMarking:
+    def test_zygote_code_mapping_marked_global(self):
+        kernel = make_kernel("shared-ptp-tlb")
+        _, code, _ = zygote_with_code(kernel)
+        assert code.global_
+
+    def test_data_mapping_not_global(self):
+        kernel = make_kernel("shared-ptp-tlb")
+        zygote, _, file = zygote_with_code(kernel)
+        data = kernel.syscalls.mmap(zygote, PAGE_SIZE,
+                                    Prot.READ | Prot.WRITE,
+                                    MapFlags.PRIVATE, file=file,
+                                    file_page_offset=1)
+        assert not data.global_
+
+    def test_non_zygote_mapping_not_global(self):
+        kernel = make_kernel("shared-ptp-tlb")
+        daemon = kernel.create_process("daemon")
+        file = kernel.page_cache.create_file("lib", 4)
+        vma = kernel.syscalls.mmap(daemon, 4 * PAGE_SIZE,
+                                   Prot.READ | Prot.EXEC,
+                                   MapFlags.PRIVATE, file=file)
+        assert not vma.global_
+
+    def test_stock_kernel_never_marks_global(self):
+        kernel = make_kernel("stock")
+        _, code, _ = zygote_with_code(kernel)
+        assert not code.global_
+
+
+class TestGlobalPtes:
+    def test_pte_carries_global_bit(self):
+        kernel = make_kernel("shared-ptp-tlb")
+        zygote, code, _ = zygote_with_code(kernel)
+        kernel.run(zygote, [ifetch(code.start)])
+        pte = zygote.mm.tables.lookup_pte(code.start)[2]
+        assert Pte.is_global(pte)
+
+    def test_child_shares_tlb_entry(self):
+        """One TLB entry serves zygote and child (no refill walk)."""
+        kernel = make_kernel("shared-ptp-tlb")
+        zygote, code, _ = zygote_with_code(kernel)
+        kernel.run(zygote, [ifetch(code.start)])
+        child, _ = kernel.fork(zygote, "app")
+        core = kernel.schedule(child)
+        misses_before = core.main_tlb.stats.misses
+        kernel.run(child, [ifetch(code.start)])
+        assert core.main_tlb.stats.misses == misses_before
+
+    def test_domain_of_zygote_slots(self):
+        kernel = make_kernel("shared-ptp-tlb")
+        zygote, code, _ = zygote_with_code(kernel)
+        kernel.run(zygote, [ifetch(code.start)])
+        slot = zygote.mm.tables.slot_for(code.start)
+        assert slot.domain == DOMAIN_ZYGOTE
+
+    def test_domain_user_when_tlb_sharing_off(self):
+        kernel = make_kernel("shared-ptp")
+        zygote, code, _ = zygote_with_code(kernel)
+        kernel.run(zygote, [ifetch(code.start)])
+        slot = zygote.mm.tables.slot_for(code.start)
+        assert slot.domain == DOMAIN_USER
+
+
+class TestDacrAssignment:
+    def test_zygote_like_gets_zygote_domain_access(self):
+        kernel = make_kernel("shared-ptp-tlb")
+        zygote, _, _ = zygote_with_code(kernel)
+        child, _ = kernel.fork(zygote, "app")
+        for task in (zygote, child):
+            assert task.dacr.access(DOMAIN_ZYGOTE) == DomainAccess.CLIENT
+
+    def test_non_zygote_denied_zygote_domain(self):
+        kernel = make_kernel("shared-ptp-tlb")
+        daemon = kernel.create_process("daemon")
+        assert daemon.dacr.access(DOMAIN_ZYGOTE) == DomainAccess.NO_ACCESS
+
+
+class TestDomainFaultPath:
+    def test_daemon_collision_resolved_via_domain_fault(self):
+        kernel = make_kernel("shared-ptp-tlb")
+        zygote, code, file = zygote_with_code(kernel)
+        kernel.run(zygote, [ifetch(code.start)])
+        daemon = kernel.create_process("daemon")
+        kernel.syscalls.mmap(daemon, code.end - code.start,
+                             Prot.READ | Prot.EXEC, MapFlags.PRIVATE,
+                             file=file, addr=code.start)
+        kernel.run(daemon, [ifetch(code.start)])
+        assert daemon.counters.domain_faults == 1
+        # The daemon ends up with its own non-global entry and reruns
+        # without further faults.
+        core = kernel.schedule(daemon)
+        kernel.run(daemon, [ifetch(code.start)])
+        assert daemon.counters.domain_faults == 1
+
+    def test_domain_fault_flushes_matching_entry_only(self):
+        kernel = make_kernel("shared-ptp-tlb")
+        zygote, code, file = zygote_with_code(kernel)
+        kernel.run(zygote, [ifetch(code.start),
+                            ifetch(code.start + PAGE_SIZE)])
+        core = kernel.schedule(zygote)
+        occupancy_before = core.main_tlb.occupancy()
+        daemon = kernel.create_process("daemon")
+        kernel.syscalls.mmap(daemon, code.end - code.start,
+                             Prot.READ | Prot.EXEC, MapFlags.PRIVATE,
+                             file=file, addr=code.start)
+        kernel.run(daemon, [ifetch(code.start)])
+        # Only the colliding VA was flushed; the second page's global
+        # entry survived.
+        assert core.main_tlb.lookup(
+            (code.start + PAGE_SIZE) >> 12, zygote.asid
+        ) is not None
+
+
+class TestSchedulerPolicies:
+    def test_micro_tlbs_always_flushed(self):
+        kernel = make_kernel("shared-ptp-tlb")
+        zygote, code, _ = zygote_with_code(kernel)
+        kernel.run(zygote, [ifetch(code.start)])
+        core = kernel.platform.cores[0]
+        assert core.micro_itlb.lookup(code.start >> 12) is not None
+        flushes_before = core.micro_itlb.stats.flushes
+        other = kernel.create_process("other")
+        kernel.schedule(other)
+        # The flush happened; the user entry is gone (the switch path's
+        # own kernel code may repopulate kernel entries afterwards).
+        assert core.micro_itlb.stats.flushes > flushes_before
+        assert core.micro_itlb.lookup(code.start >> 12) is None
+
+    def test_asid_enabled_preserves_main_tlb(self):
+        kernel = make_kernel("shared-ptp-tlb", asid_enabled=True)
+        zygote, code, _ = zygote_with_code(kernel)
+        kernel.run(zygote, [ifetch(code.start)])
+        core = kernel.platform.cores[0]
+        occupancy = core.main_tlb.occupancy()
+        kernel.schedule(kernel.create_process("other"))
+        assert core.main_tlb.occupancy() == occupancy
+
+    def test_asid_disabled_flushes_non_global(self):
+        kernel = make_kernel("shared-ptp-tlb", asid_enabled=False)
+        zygote, code, file = zygote_with_code(kernel)
+        heap = kernel.syscalls.mmap(zygote, PAGE_SIZE,
+                                    Prot.READ | Prot.WRITE, ANON)
+        kernel.run(zygote, [ifetch(code.start), store(heap.start)])
+        core = kernel.platform.cores[0]
+        kernel.schedule(kernel.create_process("other"))
+        survivors = core.main_tlb.entries()
+        assert survivors  # Globals survive (code + kernel sections).
+        assert all(e.global_ for e in survivors)
+
+    def test_domainless_fallback_flushes_globals_on_group_switch(self):
+        kernel = make_kernel("shared-ptp-tlb", domain_support=False)
+        zygote, code, _ = zygote_with_code(kernel)
+        kernel.run(zygote, [ifetch(code.start)])
+        core = kernel.platform.cores[0]
+        assert core.main_tlb.lookup(code.start >> 12, zygote.asid) is not None
+        daemon = kernel.create_process("daemon")
+        kernel.schedule(daemon)
+        # The zygote's shared global code entry was flushed (the switch
+        # path repopulates kernel-text entries afterwards).
+        assert core.main_tlb.lookup(code.start >> 12, zygote.asid) is None
+
+    def test_domainless_fallback_keeps_globals_within_group(self):
+        kernel = make_kernel("shared-ptp-tlb", domain_support=False)
+        zygote, code, _ = zygote_with_code(kernel)
+        kernel.run(zygote, [ifetch(code.start)])
+        child, _ = kernel.fork(zygote, "app")
+        core = kernel.platform.cores[0]
+        globals_before = core.main_tlb.global_entry_count()
+        kernel.schedule(child)  # zygote-like -> zygote-like.
+        assert core.main_tlb.global_entry_count() == globals_before
+
+    def test_pinning_enforced(self):
+        kernel = make_kernel("shared-ptp")
+        task = kernel.create_process("pinned")
+        task.pinned_core = 1
+        with pytest.raises(ValueError):
+            kernel.scheduler.switch_to(kernel.platform.cores[0], task)
+        kernel.schedule(task)  # Uses the pinned core.
+        assert kernel.platform.cores[1].current_task is task
+
+    def test_pick_next_group_scheduling(self):
+        kernel = make_kernel("shared-ptp-tlb", domain_support=False,
+                             group_scheduling=True)
+        zygote, _, _ = zygote_with_code(kernel)
+        child, _ = kernel.fork(zygote, "app")
+        daemon = kernel.create_process("daemon")
+        chosen = kernel.scheduler.pick_next([daemon, child], prev=zygote)
+        assert chosen is child  # Same group preferred.
+
+    def test_context_switch_counted(self):
+        kernel = make_kernel("shared-ptp")
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        kernel.schedule(a)
+        kernel.schedule(b)
+        kernel.schedule(b)  # No-op.
+        assert b.counters.context_switches == 1
+        assert b.stats.context_switch_cycles > 0

@@ -1,0 +1,101 @@
+"""Fetch-weight assignment and trace composition details."""
+
+import pytest
+
+from repro.common.events import AccessType
+from repro.common.rng import DeterministicRng
+from repro.android.libraries import CodeCategory
+from repro.workloads.footprints import build_footprint
+from repro.workloads.profiles import APP_PROFILES
+from repro.workloads.session import _map_own_libraries
+from repro.workloads.tracegen import (
+    CATEGORY_FETCH_WEIGHT,
+    build_app_trace,
+    fetch_weights_for,
+)
+from tests.conftest import make_small_runtime
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    runtime = make_small_runtime()
+    profile = APP_PROFILES["Email"]
+    child, _ = runtime.fork_app("email")
+    own = _map_own_libraries(runtime, child, profile)
+    footprint = build_footprint(runtime, profile,
+                                DeterministicRng(8, "w"), own)
+    return runtime, footprint
+
+
+class TestFetchWeights:
+    def test_weight_table_shape(self):
+        """Zygote DSOs must be the hottest category (Figure 3: they are
+        61% of fetches from 35% of pages)."""
+        assert CATEGORY_FETCH_WEIGHT[CodeCategory.ZYGOTE_DSO] == max(
+            CATEGORY_FETCH_WEIGHT.values()
+        )
+        assert (CATEGORY_FETCH_WEIGHT[CodeCategory.PRIVATE]
+                < CATEGORY_FETCH_WEIGHT[CodeCategory.OTHER_DSO])
+
+    def test_one_weight_per_code_page(self, prepared):
+        runtime, footprint = prepared
+        weights = fetch_weights_for(runtime, footprint)
+        assert len(weights) == len(footprint.all_code)
+        assert all(weight > 0 for weight in weights)
+
+    def test_preloaded_pages_get_dso_weight(self, prepared):
+        runtime, footprint = prepared
+        weights = fetch_weights_for(runtime, footprint)
+        dso_weight = CATEGORY_FETCH_WEIGHT[CodeCategory.ZYGOTE_DSO]
+        preloaded_count = len(footprint.preloaded_code)
+        # Preloaded pages come first in all_code; most are DSO pages.
+        dso_like = sum(
+            1 for weight in weights[:preloaded_count]
+            if weight == dso_weight
+        )
+        assert dso_like > 0
+
+
+class TestTraceComposition:
+    def test_burst_sizes_scale_with_weight(self, prepared):
+        runtime, footprint = prepared
+        trace = build_app_trace(runtime, footprint,
+                                DeterministicRng(8, "trace"),
+                                revisit_passes=0, base_burst=1000)
+        bursts = [event.count for event in trace
+                  if event.access is AccessType.IFETCH
+                  and not event.kernel]
+        assert max(bursts) > 2 * min(bursts)
+
+    def test_trace_deterministic(self, prepared):
+        runtime, footprint = prepared
+        a = build_app_trace(runtime, footprint,
+                            DeterministicRng(8, "trace"),
+                            revisit_passes=1)
+        b = build_app_trace(runtime, footprint,
+                            DeterministicRng(8, "trace"),
+                            revisit_passes=1)
+        assert [(e.vaddr, e.count) for e in a] == [
+            (e.vaddr, e.count) for e in b
+        ]
+
+    def test_different_round_different_order(self, prepared):
+        runtime, footprint = prepared
+        a = build_app_trace(runtime, footprint,
+                            DeterministicRng(8, "trace-0"),
+                            revisit_passes=0)
+        b = build_app_trace(runtime, footprint,
+                            DeterministicRng(8, "trace-1"),
+                            revisit_passes=0)
+        assert [e.vaddr for e in a] != [e.vaddr for e in b]
+        # But the page *sets* agree (same footprint).
+        assert {e.vaddr for e in a} == {e.vaddr for e in b}
+
+    def test_kernel_events_target_io_region(self, prepared):
+        runtime, footprint = prepared
+        trace = build_app_trace(runtime, footprint,
+                                DeterministicRng(8, "trace"),
+                                revisit_passes=0)
+        kernel_events = [event for event in trace if event.kernel]
+        assert kernel_events
+        assert all(event.vaddr >= 0xC0000000 for event in kernel_events)

@@ -1,0 +1,196 @@
+"""Profiles, footprint building, and trace generation."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE, ptp_index
+from repro.common.events import AccessType
+from repro.common.rng import DeterministicRng
+from repro.android.libraries import CodeCategory
+from repro.workloads.footprints import build_footprint
+from repro.workloads.profiles import APP_PROFILES, HELLOWORLD, profile_by_name
+from repro.workloads.session import _map_own_libraries, launch_app, probe_app
+from repro.workloads.tracegen import build_app_trace, build_ipc_burst
+from tests.conftest import make_small_runtime
+
+
+class TestProfiles:
+    def test_eleven_apps(self):
+        assert len(APP_PROFILES) == 11
+
+    def test_warm_at_least_cold(self):
+        for profile in APP_PROFILES.values():
+            assert profile.preloaded_code_pages >= (
+                profile.zygote_overlap_pages
+            ), profile.name
+
+    def test_user_fractions_match_table1(self):
+        assert APP_PROFILES["Angrybirds"].user_fraction == pytest.approx(
+            0.922
+        )
+        assert APP_PROFILES["Chrome Privilege"].user_fraction == (
+            pytest.approx(0.279)
+        )
+        assert APP_PROFILES["WPS"].user_fraction == pytest.approx(0.471)
+
+    def test_table3_numbers_encoded(self):
+        angry = APP_PROFILES["Angrybirds"]
+        assert angry.zygote_overlap_pages == 1370  # Cold 13.7 x100.
+        assert angry.preloaded_code_pages == 2500  # Warm 25 x100.
+
+    def test_footprint_sizes_in_figure2_range(self):
+        for profile in APP_PROFILES.values():
+            assert 1500 <= profile.total_instruction_pages <= 8000
+
+    def test_lookup(self):
+        assert profile_by_name("Helloworld") is HELLOWORLD
+        assert profile_by_name("WPS").name == "WPS"
+        with pytest.raises(KeyError):
+            profile_by_name("Fortnite")
+
+
+class TestFootprints:
+    def setup_method(self):
+        self.runtime = make_small_runtime()
+        self.profile = HELLOWORLD
+        self.child, _ = self.runtime.fork_app("app")
+        self.own = _map_own_libraries(self.runtime, self.child,
+                                      self.profile)
+        self.rng = DeterministicRng(9, "fp")
+        self.footprint = build_footprint(self.runtime, self.profile,
+                                         self.rng, self.own)
+
+    def teardown_method(self):
+        if self.child.state.name != "EXITED":
+            self.runtime.kernel.exit_task(self.child)
+
+    def test_inherited_pages_come_from_zygote_ranking(self):
+        ranking = set(self.runtime.code_hot_ranking)
+        assert all(addr in ranking
+                   for addr in self.footprint.inherited_code)
+
+    def test_inherited_count_capped_by_availability(self):
+        want = self.profile.zygote_overlap_pages
+        available = len(self.runtime.code_hot_ranking)
+        assert len(self.footprint.inherited_code) == min(want, available)
+
+    def test_new_preloaded_disjoint_from_inherited(self):
+        inherited = set(self.footprint.inherited_code)
+        assert not inherited & set(self.footprint.new_preloaded_code)
+
+    def test_heap_writes_respect_span_limit(self):
+        assert self.profile.heap_span_slots is not None
+        first = ptp_index(self.runtime.java_heap.start)
+        for addr in self.footprint.heap_writes:
+            assert ptp_index(addr) - first < self.profile.heap_span_slots
+
+    def test_footprint_deterministic_for_same_rng(self):
+        again = build_footprint(self.runtime, self.profile,
+                                DeterministicRng(9, "fp"), self.own)
+        assert again.inherited_code == self.footprint.inherited_code
+        assert again.heap_writes == self.footprint.heap_writes
+        assert again.written_libraries == self.footprint.written_libraries
+
+    def test_lib_data_writes_target_dso_data_segments(self):
+        for name in self.footprint.written_libraries:
+            mapped = self.runtime.mapped[name]
+            assert mapped.library.category is CodeCategory.ZYGOTE_DSO
+        for addr in self.footprint.lib_data_writes:
+            vma = self.runtime.zygote.mm.find_vma(addr)
+            assert vma is not None and vma.prot.writable
+
+    def test_written_libraries_are_address_contiguous(self):
+        starts = [self.runtime.mapped[name].code_start
+                  for name in self.footprint.written_libraries]
+        assert starts == sorted(starts)
+
+    def test_category_counts_sum_to_code_pages(self):
+        counts = self.footprint.code_pages_by_category()
+        assert sum(counts.values()) == len(self.footprint.all_code)
+
+
+class TestOverlapStructure:
+    def test_two_apps_share_hot_prefix(self):
+        runtime = make_small_runtime()
+        a = probe_app(runtime, APP_PROFILES["Adobe Reader"],
+                      DeterministicRng(1, "a"))
+        b = probe_app(runtime, APP_PROFILES["Android Browser"],
+                      DeterministicRng(2, "b"))
+        intersection = a.preloaded_identity & b.preloaded_identity
+        smaller = min(len(a.preloaded_identity), len(b.preloaded_identity))
+        assert len(intersection) > 0.5 * smaller
+
+
+class TestTraceGeneration:
+    def make_trace(self, revisits=1):
+        runtime = make_small_runtime()
+        child, _ = runtime.fork_app("app")
+        own = _map_own_libraries(runtime, child, HELLOWORLD)
+        footprint = build_footprint(runtime, HELLOWORLD,
+                                    DeterministicRng(4, "t"), own)
+        trace = build_app_trace(runtime, footprint,
+                                DeterministicRng(4, "trace"),
+                                revisit_passes=revisits)
+        return runtime, footprint, trace
+
+    def test_trace_covers_whole_footprint(self):
+        runtime, footprint, trace = self.make_trace()
+        trace_pages = {e.vaddr for e in trace}
+        for addr in footprint.all_code:
+            assert addr in trace_pages
+        for addr in footprint.heap_writes:
+            assert addr in trace_pages
+
+    def test_got_writes_lead_the_trace(self):
+        runtime, footprint, trace = self.make_trace()
+        head = trace[:len(footprint.lib_data_writes)]
+        assert all(e.access is AccessType.STORE for e in head)
+
+    def test_kernel_service_injected_for_user_fraction(self):
+        runtime, footprint, trace = self.make_trace()
+        user = sum(e.count for e in trace
+                   if e.access is AccessType.IFETCH and not e.kernel)
+        kernel = sum(e.count for e in trace if e.kernel)
+        fraction = user / (user + kernel)
+        assert fraction == pytest.approx(HELLOWORLD.user_fraction,
+                                         abs=0.03)
+
+    def test_revisit_passes_scale_trace(self):
+        _, _, short = self.make_trace(revisits=0)
+        _, _, long = self.make_trace(revisits=2)
+        assert len(long) > len(short)
+
+    def test_ipc_burst(self):
+        burst = build_ipc_burst([0x1000, 0x2000], burst=99)
+        assert len(burst) == 2
+        assert all(e.count == 99 for e in burst)
+
+
+class TestSession:
+    def test_launch_measurement_populated(self):
+        runtime = make_small_runtime()
+        session = launch_app(runtime, HELLOWORLD,
+                             DeterministicRng(3, "s"), revisit_passes=0)
+        launch = session.launch
+        assert launch.cycles > 0
+        assert launch.instructions > 0
+        assert launch.file_backed_faults > 0
+        assert launch.ptps_allocated > 0
+        session.finish()
+        assert session.task.state.name == "EXITED"
+
+    def test_round_seed_changes_trace_not_footprint(self):
+        runtime = make_small_runtime()
+        a = launch_app(runtime, HELLOWORLD, DeterministicRng(3, "s"),
+                       revisit_passes=0, round_seed=0)
+        a_pages = set(a.footprint.all_code)
+        a.finish()
+        b = launch_app(runtime, HELLOWORLD, DeterministicRng(3, "s"),
+                       revisit_passes=0, round_seed=1)
+        assert set(b.footprint.all_code) == a_pages
+        b.finish()
+
+    def test_probe_exits_cleanly(self):
+        runtime = make_small_runtime()
+        live_before = len(runtime.kernel.live_tasks())
+        probe_app(runtime, HELLOWORLD, DeterministicRng(3, "p"))
+        assert len(runtime.kernel.live_tasks()) == live_before

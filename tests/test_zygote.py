@@ -1,0 +1,118 @@
+"""Zygote boot: the paper's calibration targets and structural invariants.
+
+The full-calibration tests use the session-scoped runtime; they verify
+the exact numbers Table 4 depends on (see DESIGN.md section 4).
+"""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE, ptp_index
+from repro.android.layout import LayoutMode
+from repro.android.zygote import ZygoteCalibration
+from repro.hw.pagetable import Pte
+from tests.conftest import make_small_runtime
+
+
+class TestFullCalibration:
+    """Against the paper's Section 4.2.1 zygote numbers."""
+
+    def test_dso_instruction_ptes(self, full_runtime_readonly):
+        assert full_runtime_readonly.report.dso_code_ptes == 5900
+
+    def test_anonymous_ptes(self, full_runtime_readonly):
+        assert full_runtime_readonly.report.anon_ptes == 3900
+
+    def test_stack_ptes(self, full_runtime_readonly):
+        assert full_runtime_readonly.report.stack_ptes == 7
+
+    def test_anon_slots_for_stock_fork(self, full_runtime_readonly):
+        # Stock fork allocates one child PTP per anon-bearing slot: 38.
+        assert full_runtime_readonly.report.anon_slots == 38
+
+    def test_total_populated_slots(self, full_runtime_readonly):
+        # 81 shareable + the stack slot.
+        assert full_runtime_readonly.report.populated_slots == 82
+
+    def test_hot_ranking_covers_all_code(self, full_runtime_readonly):
+        runtime = full_runtime_readonly
+        expected = sum(len(pages) for pages in
+                       runtime.touched_code_pages.values())
+        assert len(runtime.code_hot_ranking) == expected
+        assert len(set(runtime.code_hot_ranking)) == expected
+
+
+class TestSmallRuntimeStructure:
+    def test_every_mapped_object_present(self):
+        runtime = make_small_runtime()
+        assert "app_process" in runtime.mapped
+        assert "boot.oat" in runtime.mapped
+        assert "boot.art" in runtime.mapped
+        assert len(runtime.mapped) >= 88 + 3 + 4
+
+    def test_touched_pages_have_valid_ptes(self):
+        runtime = make_small_runtime()
+        tables = runtime.zygote.mm.tables
+        for name, pages in runtime.touched_code_pages.items():
+            for addr in pages[:3]:
+                found = tables.lookup_pte(addr)
+                assert found is not None, f"{name}:{addr:#x}"
+                assert Pte.is_valid(found[2])
+
+    def test_anon_and_file_slots_disjoint(self):
+        """Anonymous regions must not share 2MB slots with file content
+        (keeps the paper's 38-slot anon accounting clean)."""
+        runtime = make_small_runtime()
+        anon_slots = set()
+        for vma in (runtime.java_heap, runtime.native_heap,
+                    runtime.misc_anon, runtime.stack):
+            for addr in range(vma.start, vma.end, PAGE_SIZE):
+                anon_slots.add(ptp_index(addr))
+        file_slots = set()
+        for mapped in runtime.mapped.values():
+            for vma in (mapped.code_vma, mapped.data_vma):
+                if vma is None:
+                    continue
+                for addr in range(vma.start, vma.end, PAGE_SIZE):
+                    file_slots.add(ptp_index(addr))
+        assert not anon_slots & file_slots
+
+    def test_preloaded_flag_only_on_dsos(self):
+        runtime = make_small_runtime()
+        assert runtime.mapped["libc.so"].code_vma.zygote_preloaded
+        assert not runtime.mapped["boot.oat"].code_vma.zygote_preloaded
+        assert not runtime.mapped["app_process"].code_vma.zygote_preloaded
+
+    def test_zygote_flags(self):
+        runtime = make_small_runtime()
+        assert runtime.zygote.is_zygote
+        assert not runtime.zygote.is_zygote_child
+
+    def test_fork_app_produces_zygote_child(self):
+        runtime = make_small_runtime()
+        child, _ = runtime.fork_app("app")
+        assert child.is_zygote_child
+        assert child.parent is runtime.zygote
+
+    def test_global_marking_follows_config(self):
+        with_tlb = make_small_runtime("shared-ptp-tlb")
+        assert with_tlb.mapped["libc.so"].code_vma.global_
+        without = make_small_runtime("shared-ptp")
+        assert not without.mapped["libc.so"].code_vma.global_
+
+    def test_2mb_mode_layout(self):
+        runtime = make_small_runtime(mode=LayoutMode.ALIGNED_2MB)
+        mapped = runtime.mapped["libc.so"]
+        assert mapped.code_start % (2 << 20) == 0
+        assert ptp_index(mapped.code_start) != ptp_index(mapped.data_start)
+
+    def test_determinism_across_boots(self):
+        a = make_small_runtime()
+        b = make_small_runtime()
+        assert a.code_hot_ranking == b.code_hot_ranking
+        assert a.report.dso_code_ptes == b.report.dso_code_ptes
+
+    def test_small_calibration_totals(self):
+        runtime = make_small_runtime()
+        calibration = ZygoteCalibration.small()
+        assert runtime.report.dso_code_ptes == calibration.dso_code_ptes
+        assert runtime.report.stack_ptes == calibration.stack_ptes
