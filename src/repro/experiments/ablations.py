@@ -32,7 +32,7 @@ from repro.android.binder import BinderBenchmark, BinderConfig
 from repro.android.zygote import boot_android
 from repro.kernel.config import shared_ptp_config, shared_ptp_tlb_config, stock_config
 from repro.kernel.kernel import Kernel
-from repro.experiments.common import DEFAULT, Scale, format_table
+from repro.experiments.common import DEFAULT, DEFAULT_SEED, Scale, format_table
 from repro.workloads.profiles import APP_PROFILES
 from repro.workloads.session import launch_app
 
@@ -72,14 +72,15 @@ class UnshareCopyResult:
 
 
 def unshare_copy_ablation(scale: Scale = DEFAULT,
-                          app: str = "Angrybirds") -> UnshareCopyResult:
+                          app: str = "Angrybirds",
+                          seed: int = DEFAULT_SEED) -> UnshareCopyResult:
     """Run the Section 3.1.3 copy-policy comparison."""
     rows = {}
     for label, referenced_only in (("all", False), ("referenced", True)):
         config = shared_ptp_config().with_(
             unshare_copy_referenced_only=referenced_only
         )
-        runtime = boot_android(Kernel(config=config))
+        runtime = boot_android(Kernel(config=config), seed=seed)
         rng = DeterministicRng(50, app)
         last = None
         for round_index in range(1 + scale.steady_rounds):
@@ -134,12 +135,14 @@ class L1WriteProtectResult:
         )
 
 
-def l1_write_protect_ablation(scale: Scale = DEFAULT) -> L1WriteProtectResult:
+def l1_write_protect_ablation(scale: Scale = DEFAULT,
+                              seed: int = DEFAULT_SEED,
+                              ) -> L1WriteProtectResult:
     """Run the Section 3.1.3 hardware-support comparison."""
     measurements = {}
     for label, x86 in (("arm", False), ("x86", True)):
         config = shared_ptp_config().with_(x86_style_l1_write_protect=x86)
-        runtime = boot_android(Kernel(config=config))
+        runtime = boot_android(Kernel(config=config), seed=seed)
         child, report = runtime.fork_app("first-fork")
         measurements[label] = report
         runtime.kernel.exit_task(child)
@@ -184,14 +187,15 @@ class DomainlessResult:
         )
 
 
-def domainless_ablation(scale: Scale = DEFAULT) -> DomainlessResult:
+def domainless_ablation(scale: Scale = DEFAULT,
+                        seed: int = DEFAULT_SEED) -> DomainlessResult:
     """Run the Section 3.2.3 confinement comparison."""
     results = {}
     flushes = 0
     faults = 0
     for label, domains in (("domains", True), ("fallback", False)):
         config = shared_ptp_tlb_config().with_(domain_support=domains)
-        runtime = boot_android(Kernel(config=config))
+        runtime = boot_android(Kernel(config=config), seed=seed)
         bench = BinderBenchmark(
             runtime, config=BinderConfig(invocations=scale.ipc_invocations)
         )
@@ -349,7 +353,8 @@ def _code_ptp_pfns(kernel, tasks, start: int, end: int) -> set:
 
 
 def cache_pollution_experiment(processes: int = 4,
-                               code_pages: int = 400
+                               code_pages: int = 400,
+                               seed: int = DEFAULT_SEED,
                                ) -> CachePollutionResult:
     """Run the same shared code in N processes on N cores and measure
     how much of the shared L2 the table walker's PTE reads occupy.
@@ -364,7 +369,7 @@ def cache_pollution_experiment(processes: int = 4,
     for label, config in (("stock", stock_config()),
                           ("shared", shared_ptp_config())):
         kernel = Kernel(config=config)
-        runtime = boot_android(kernel)
+        runtime = boot_android(kernel, seed=seed)
         code_vma = runtime.mapped["libwebviewchromium.so"].code_vma
         pages = [code_vma.start + i * 4096 for i in range(code_pages)]
         tasks = []
@@ -424,7 +429,8 @@ class ScalabilityResult:
         )
 
 
-def scalability_sweep(process_counts: List[int] = None) -> ScalabilityResult:
+def scalability_sweep(process_counts: List[int] = None,
+                      seed: int = DEFAULT_SEED) -> ScalabilityResult:
     """Fork N concurrent apps and count live page-table frames."""
     process_counts = process_counts or [1, 2, 4, 8, 16]
     points = []
@@ -432,7 +438,7 @@ def scalability_sweep(process_counts: List[int] = None) -> ScalabilityResult:
         frames = {}
         for label, config in (("stock", stock_config()),
                               ("shared", shared_ptp_config())):
-            runtime = boot_android(Kernel(config=config))
+            runtime = boot_android(Kernel(config=config), seed=seed)
             for index in range(count):
                 runtime.fork_app(f"app-{index}")
             frames[label] = runtime.kernel.memory.live_frames(FrameKind.PTP)

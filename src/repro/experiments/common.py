@@ -1,7 +1,7 @@
 """Shared experiment plumbing: scales, kernel construction, formatting."""
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.kernel.config import (
     KernelConfig,
@@ -50,6 +50,25 @@ PAPER = Scale(name="paper", launch_rounds=100, fork_rounds=40,
               steady_rounds=4, ipc_invocations=1000)
 
 SCALES: Dict[str, Scale] = {s.name: s for s in (QUICK, DEFAULT, PAPER)}
+
+#: The seed every experiment uses unless ``--seed`` overrides it.
+DEFAULT_SEED = 7
+
+
+def scale_to_params(scale: Scale) -> Dict[str, Any]:
+    """Flatten a Scale into the JSON dict cell parameters carry."""
+    flat = {f.name: getattr(scale, f.name) for f in fields(Scale)}
+    if flat["apps"] is not None:
+        flat["apps"] = list(flat["apps"])
+    return flat
+
+
+def scale_from_params(params: Dict[str, Any]) -> Scale:
+    """Rebuild a Scale from :func:`scale_to_params` output."""
+    flat = dict(params)
+    if flat.get("apps") is not None:
+        flat["apps"] = tuple(flat["apps"])
+    return Scale(**flat)
 
 
 def build_runtime(

@@ -1,17 +1,21 @@
 """Zygote fork experiments: Tables 3 and 4 (Section 4.2.1)."""
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.common.rng import DeterministicRng
 from repro.hw.pagetable import Pte
 from repro.android.zygote import AndroidRuntime
 from repro.experiments.common import (
     DEFAULT,
+    DEFAULT_SEED,
     Scale,
     build_runtime,
     format_table,
+    scale_from_params,
+    scale_to_params,
 )
+from repro.orchestrate import Cell, Orchestrator, kernel_config_fields
 from repro.workloads.profiles import APP_PROFILES
 from repro.workloads.session import launch_app
 
@@ -84,26 +88,70 @@ class Table4Result:
         )
 
 
-def table4(scale: Scale = DEFAULT) -> Table4Result:
+#: The kernels Table 4 compares, in presentation order.
+TABLE4_KERNELS = ("shared-ptp", "stock", "copy-pte")
+
+
+def table4_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One kernel's fork-round series (a self-contained cell)."""
+    scale = scale_from_params(params["scale"])
+    config_name = params["config"]
+    runtime = build_runtime(config_name, seed=params["seed"])
+    best = None
+    for index in range(scale.fork_rounds):
+        child, report = runtime.fork_app(f"fork-bench-{index}")
+        if best is None or report.cycles < best[0].cycles:
+            best = (report, child.counters.ptps_allocated)
+        runtime.kernel.exit_task(child)
+    report, ptps = best
+    return {
+        "kernel": config_name,
+        "cycles": report.cycles,
+        "ptps_allocated": ptps,
+        "shared_ptps": report.slots_shared,
+        "ptes_copied": report.ptes_copied,
+    }
+
+
+def table4_cells(scale: Scale = DEFAULT,
+                 seed: int = DEFAULT_SEED) -> List[Cell]:
+    """The three-kernel fork comparison as independent cells."""
+    return [
+        Cell(
+            experiment="table4",
+            cell_id=config_name,
+            fn="repro.experiments.fork:table4_cell",
+            params={
+                "config": config_name,
+                "scale": scale_to_params(scale),
+                "seed": seed,
+            },
+            config_fields=kernel_config_fields(config_name),
+        )
+        for config_name in TABLE4_KERNELS
+    ]
+
+
+def merge_table4(payloads: List[Dict[str, Any]]) -> Table4Result:
+    """Pure merge: cell payloads (in cell order) -> Table4Result."""
+    return Table4Result(rows=[
+        Table4Row(
+            kernel=p["kernel"],
+            cycles=p["cycles"],
+            ptps_allocated=p["ptps_allocated"],
+            shared_ptps=p["shared_ptps"],
+            ptes_copied=p["ptes_copied"],
+        )
+        for p in payloads
+    ])
+
+
+def table4(scale: Scale = DEFAULT,
+           orchestrator: Optional[Orchestrator] = None,
+           seed: int = DEFAULT_SEED) -> Table4Result:
     """Fork the zygote repeatedly under each kernel; report the minimum."""
-    rows = []
-    for config_name in ("shared-ptp", "stock", "copy-pte"):
-        runtime = build_runtime(config_name)
-        best = None
-        for index in range(scale.fork_rounds):
-            child, report = runtime.fork_app(f"fork-bench-{index}")
-            if best is None or report.cycles < best[0].cycles:
-                best = (report, child.counters.ptps_allocated)
-            runtime.kernel.exit_task(child)
-        report, ptps = best
-        rows.append(Table4Row(
-            kernel=config_name,
-            cycles=report.cycles,
-            ptps_allocated=ptps,
-            shared_ptps=report.slots_shared,
-            ptes_copied=report.ptes_copied,
-        ))
-    return Table4Result(rows=rows)
+    orchestrator = orchestrator or Orchestrator()
+    return merge_table4(orchestrator.run(table4_cells(scale, seed)))
 
 
 # ---------------------------------------------------------------------------
@@ -167,16 +215,9 @@ def _inheritable_count(runtime: AndroidRuntime, pages: List[int]) -> int:
     return count
 
 
-def table3(scale: Scale = DEFAULT,
-           runtime: Optional[AndroidRuntime] = None) -> Table3Result:
-    """Cold/warm inherited-PTE counts per app.
-
-    Cold: how much of the app's preloaded footprint the zygote has
-    populated at boot.  Warm: the same measurement after the app has run
-    once — its own faults populated the shared PTPs, so a relaunch
-    inherits (nearly) its whole preloaded footprint.
-    """
-    runtime = runtime or build_runtime("shared-ptp")
+def _table3_sweep(runtime: AndroidRuntime,
+                  scale: Scale) -> List[Dict[str, Any]]:
+    """The per-app cold/warm measurement loop (shared runtime)."""
     names = list(scale.apps) if scale.apps else list(APP_PROFILES)
     rows = []
     for name in names:
@@ -192,9 +233,63 @@ def table3(scale: Scale = DEFAULT,
         cold = len(session.footprint.inherited_code)
         session.finish()
         warm = _inheritable_count(runtime, pages)
-        paper_cold, paper_warm = PAPER_TABLE3.get(name, (0, 0))
+        rows.append({"app": name, "cold": cold, "warm": warm})
+    return rows
+
+
+def table3_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """The whole Table 3 sweep as one cell.
+
+    The apps deliberately share one runtime — each run warms the
+    zygote's shared PTPs, which is the effect the table reports — so
+    the sweep cannot be split without changing its meaning.
+    """
+    scale = scale_from_params(params["scale"])
+    runtime = build_runtime("shared-ptp", seed=params["seed"])
+    return {"rows": _table3_sweep(runtime, scale)}
+
+
+def table3_cells(scale: Scale = DEFAULT,
+                 seed: int = DEFAULT_SEED) -> List[Cell]:
+    """Table 3 as a (single-cell) list, for uniform orchestration."""
+    return [Cell(
+        experiment="table3",
+        cell_id="shared-ptp",
+        fn="repro.experiments.fork:table3_cell",
+        params={"scale": scale_to_params(scale), "seed": seed},
+        config_fields=kernel_config_fields("shared-ptp"),
+    )]
+
+
+def merge_table3(payloads: List[Dict[str, Any]]) -> Table3Result:
+    """Pure merge: the single cell payload -> Table3Result."""
+    rows = []
+    for row in payloads[0]["rows"]:
+        paper_cold, paper_warm = PAPER_TABLE3.get(row["app"], (0, 0))
         rows.append(Table3Row(
-            app=name, cold_inherited=cold, warm_inherited=warm,
+            app=row["app"], cold_inherited=row["cold"],
+            warm_inherited=row["warm"],
             paper_cold=paper_cold, paper_warm=paper_warm,
         ))
     return Table3Result(rows=rows)
+
+
+def table3(scale: Scale = DEFAULT,
+           runtime: Optional[AndroidRuntime] = None,
+           orchestrator: Optional[Orchestrator] = None,
+           seed: int = DEFAULT_SEED) -> Table3Result:
+    """Cold/warm inherited-PTE counts per app.
+
+    Cold: how much of the app's preloaded footprint the zygote has
+    populated at boot.  Warm: the same measurement after the app has run
+    once — its own faults populated the shared PTPs, so a relaunch
+    inherits (nearly) its whole preloaded footprint.
+
+    With an explicit ``runtime`` the sweep runs directly against it
+    (tests use this to observe a runtime they control); otherwise it
+    goes through the orchestrator and is cacheable.
+    """
+    if runtime is not None:
+        return merge_table3([{"rows": _table3_sweep(runtime, scale)}])
+    orchestrator = orchestrator or Orchestrator()
+    return merge_table3(orchestrator.run(table3_cells(scale, seed)))

@@ -10,14 +10,28 @@ on top of ASIDs.
 """
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.android.binder import BinderBenchmark, BinderConfig, BinderResult
+from repro.android.binder import (
+    BinderBenchmark,
+    BinderConfig,
+    BinderResult,
+    BinderSideResult,
+)
 from repro.experiments.common import (
     DEFAULT,
+    DEFAULT_SEED,
     Scale,
     build_runtime,
     format_table,
+    scale_from_params,
+    scale_to_params,
+)
+from repro.orchestrate import (
+    Cell,
+    Orchestrator,
+    jsonable,
+    kernel_config_fields,
 )
 
 IPC_KERNELS = ["stock", "shared-ptp", "shared-ptp-tlb"]
@@ -92,21 +106,79 @@ class IpcResult:
         )
 
 
-def run_ipc_experiment(scale: Scale = DEFAULT,
-                       config: Optional[BinderConfig] = None) -> IpcResult:
-    """The six-configuration binder sweep."""
-    results: Dict[Tuple[bool, str], BinderResult] = {}
-    noise: Dict[Tuple[bool, str], int] = {}
+# ---------------------------------------------------------------------------
+# Cell decomposition: one cell per (ASID mode x kernel).
+# ---------------------------------------------------------------------------
+
+def ipc_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One (ASID, kernel) binder run (a self-contained cell)."""
+    scale = scale_from_params(params["scale"])
+    asid = params["asid"]
+    kernel_name = params["kernel"]
+    runtime = build_runtime(kernel_name, asid_enabled=asid,
+                            seed=params["seed"])
+    if params["binder_config"] is not None:
+        bench_config = BinderConfig(**params["binder_config"])
+    else:
+        bench_config = BinderConfig(invocations=scale.ipc_invocations)
+    bench = BinderBenchmark(runtime, config=bench_config)
+    result = bench.run()
+    return {
+        "asid": asid,
+        "kernel": kernel_name,
+        "client": jsonable(result.client),
+        "server": jsonable(result.server),
+        "context_switches": result.context_switches,
+        "noise_domain_faults": bench.noise.counters.domain_faults,
+    }
+
+
+def ipc_cells(scale: Scale = DEFAULT,
+              config: Optional[BinderConfig] = None,
+              seed: int = DEFAULT_SEED) -> List[Cell]:
+    """The six-configuration binder sweep as independent cells."""
+    cells = []
     for asid in (False, True):
         for kernel_name in IPC_KERNELS:
-            runtime = build_runtime(kernel_name, asid_enabled=asid)
-            bench_config = config or BinderConfig(
-                invocations=scale.ipc_invocations
-            )
-            bench = BinderBenchmark(runtime, config=bench_config)
-            results[(asid, kernel_name)] = bench.run()
-            noise[(asid, kernel_name)] = bench.noise.counters.domain_faults
+            cells.append(Cell(
+                experiment="ipc",
+                cell_id=f"{'asid' if asid else 'no-asid'}-{kernel_name}",
+                fn="repro.experiments.ipc:ipc_cell",
+                params={
+                    "asid": asid,
+                    "kernel": kernel_name,
+                    "binder_config": jsonable(config) if config else None,
+                    "scale": scale_to_params(scale),
+                    "seed": seed,
+                },
+                config_fields=kernel_config_fields(kernel_name,
+                                                   asid_enabled=asid),
+            ))
+    return cells
+
+
+def merge_ipc(payloads: List[Dict[str, Any]]) -> IpcResult:
+    """Pure merge: cell payloads (in cell order) -> IpcResult."""
+    results: Dict[Tuple[bool, str], BinderResult] = {}
+    noise: Dict[Tuple[bool, str], int] = {}
+    for payload in payloads:
+        key = (payload["asid"], payload["kernel"])
+        results[key] = BinderResult(
+            client=BinderSideResult(**payload["client"]),
+            server=BinderSideResult(**payload["server"]),
+            context_switches=payload["context_switches"],
+        )
+        noise[key] = payload["noise_domain_faults"]
     return IpcResult(results=results, noise_domain_faults=noise)
+
+
+def run_ipc_experiment(scale: Scale = DEFAULT,
+                       config: Optional[BinderConfig] = None,
+                       orchestrator: Optional[Orchestrator] = None,
+                       seed: int = DEFAULT_SEED) -> IpcResult:
+    """The six-configuration binder sweep."""
+    orchestrator = orchestrator or Orchestrator()
+    return merge_ipc(orchestrator.run(ipc_cells(scale, config, seed)))
 
 
 figure13 = run_ipc_experiment

@@ -11,17 +11,21 @@ kernel and the shared-PTP&TLB kernel, each with the original and the
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.common.rng import DeterministicRng
 from repro.common.stats import BoxplotSummary, boxplot, mean
 from repro.android.layout import LayoutMode
 from repro.experiments.common import (
     DEFAULT,
+    DEFAULT_SEED,
     Scale,
     build_runtime,
     format_table,
+    scale_from_params,
+    scale_to_params,
 )
+from repro.orchestrate import Cell, Orchestrator, jsonable, kernel_config_fields
 from repro.workloads.profiles import HELLOWORLD
 from repro.workloads.session import LaunchMeasurement, launch_app
 
@@ -162,24 +166,75 @@ class LaunchResult:
         ])
 
 
-def run_launch_experiment(scale: Scale = DEFAULT) -> LaunchResult:
-    """Repeated Helloworld launches under the four configurations."""
+# ---------------------------------------------------------------------------
+# Cell decomposition: one cell per launch configuration.
+# ---------------------------------------------------------------------------
+
+def launch_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One configuration's full round series (a self-contained cell).
+
+    Rounds under one configuration share a runtime on purpose — warm
+    state across rounds is part of what Figures 7-9 measure — so the
+    cell boundary is the configuration, where state genuinely resets.
+    """
+    scale = scale_from_params(params["scale"])
+    label = params["label"]
+    runtime = build_runtime(params["config"],
+                            mode=LayoutMode[params["mode"]],
+                            seed=params["seed"])
+    rng = DeterministicRng(100, f"launch-{label}")
+    measurements = []
+    for round_index in range(scale.launch_rounds):
+        session = launch_app(
+            runtime, HELLOWORLD, rng,
+            revisit_passes=scale.revisit_passes,
+            base_burst=LAUNCH_BURST,
+            round_seed=round_index,
+        )
+        measurements.append(jsonable(session.launch))
+        session.finish()
+    return {"label": label, "measurements": measurements}
+
+
+def launch_cells(scale: Scale = DEFAULT,
+                 seed: int = DEFAULT_SEED) -> List[Cell]:
+    """The four-configuration sweep as independent cells."""
+    return [
+        Cell(
+            experiment="launch",
+            cell_id=label,
+            fn="repro.experiments.launch:launch_cell",
+            params={
+                "label": label,
+                "config": config_name,
+                "mode": mode.name,
+                "scale": scale_to_params(scale),
+                "seed": seed,
+            },
+            config_fields=kernel_config_fields(config_name),
+        )
+        for label, config_name, mode in LAUNCH_CONFIGS
+    ]
+
+
+def merge_launch(payloads: List[Dict[str, Any]]) -> LaunchResult:
+    """Pure merge: cell payloads (in cell order) -> LaunchResult."""
     series: Dict[str, LaunchSeries] = {}
-    for label, config_name, mode in LAUNCH_CONFIGS:
-        runtime = build_runtime(config_name, mode=mode)
-        data = LaunchSeries(label=label)
-        rng = DeterministicRng(100, f"launch-{label}")
-        for round_index in range(scale.launch_rounds):
-            session = launch_app(
-                runtime, HELLOWORLD, rng,
-                revisit_passes=scale.revisit_passes,
-                base_burst=LAUNCH_BURST,
-                round_seed=round_index,
-            )
-            data.measurements.append(session.launch)
-            session.finish()
-        series[label] = data
+    for payload in payloads:
+        series[payload["label"]] = LaunchSeries(
+            label=payload["label"],
+            measurements=[LaunchMeasurement(**m)
+                          for m in payload["measurements"]],
+        )
     return LaunchResult(series=series)
+
+
+def run_launch_experiment(scale: Scale = DEFAULT,
+                          orchestrator: Optional[Orchestrator] = None,
+                          seed: int = DEFAULT_SEED) -> LaunchResult:
+    """Repeated Helloworld launches under the four configurations."""
+    orchestrator = orchestrator or Orchestrator()
+    return merge_launch(orchestrator.run(launch_cells(scale, seed)))
 
 
 #: Figures 7-9 come from one sweep; aliases for the runner.

@@ -14,7 +14,13 @@ from repro.analysis.footprint import (
 )
 from repro.analysis.overlap import OverlapMatrix, pairwise_overlap
 from repro.analysis.sparsity import SparsityResult, sparsity_analysis
-from repro.experiments.common import Scale, DEFAULT, build_runtime, format_table
+from repro.experiments.common import (
+    DEFAULT,
+    DEFAULT_SEED,
+    Scale,
+    build_runtime,
+    format_table,
+)
 from repro.workloads.profiles import APP_PROFILES
 from repro.workloads.session import (
     ProbeResult,
@@ -57,7 +63,8 @@ class Table1Result:
 
 
 def table1(scale: Scale = DEFAULT,
-           runtime: Optional[AndroidRuntime] = None) -> Table1Result:
+           runtime: Optional[AndroidRuntime] = None,
+           seed: int = DEFAULT_SEED) -> Table1Result:
     """Measure the user/kernel instruction split per application.
 
     Measured over a steady-state execution window (after the launch
@@ -65,7 +72,7 @@ def table1(scale: Scale = DEFAULT,
     sessions, where demand-paging work is amortised away and the kernel
     share is dominated by each app's syscall/I-O behaviour.
     """
-    runtime = runtime or build_runtime("shared-ptp")
+    runtime = runtime or build_runtime("shared-ptp", seed=seed)
     rows = []
     names = list(scale.apps) if scale.apps else list(APP_PROFILES)
     for name in names:
@@ -130,18 +137,20 @@ class BreakdownResult:
 
 
 def figure2(scale: Scale = DEFAULT,
-            runtime: Optional[AndroidRuntime] = None) -> BreakdownResult:
+            runtime: Optional[AndroidRuntime] = None,
+            seed: int = DEFAULT_SEED) -> BreakdownResult:
     """Figure 2: instruction pages by code category."""
-    runtime = runtime or build_runtime("shared-ptp")
+    runtime = runtime or build_runtime("shared-ptp", seed=seed)
     return BreakdownResult("2", instruction_page_breakdown(
         _probes(runtime, scale.apps)
     ))
 
 
 def figure3(scale: Scale = DEFAULT,
-            runtime: Optional[AndroidRuntime] = None) -> BreakdownResult:
+            runtime: Optional[AndroidRuntime] = None,
+            seed: int = DEFAULT_SEED) -> BreakdownResult:
     """Figure 3: instruction fetches by code category."""
-    runtime = runtime or build_runtime("shared-ptp")
+    runtime = runtime or build_runtime("shared-ptp", seed=seed)
     return BreakdownResult("3", fetch_breakdown(_probes(runtime, scale.apps)))
 
 
@@ -180,9 +189,10 @@ class Table2Result:
 
 
 def table2(scale: Scale = DEFAULT,
-           runtime: Optional[AndroidRuntime] = None) -> Table2Result:
+           runtime: Optional[AndroidRuntime] = None,
+           seed: int = DEFAULT_SEED) -> Table2Result:
     """Table 2: pairwise shared-code overlap."""
-    runtime = runtime or build_runtime("shared-ptp")
+    runtime = runtime or build_runtime("shared-ptp", seed=seed)
     probes = _probes(runtime, scale.apps)
     display = [
         name for name in ("Adobe Reader", "Android Browser", "MX Player",
@@ -226,9 +236,10 @@ class Figure4Result:
 
 
 def figure4(scale: Scale = DEFAULT,
-            runtime: Optional[AndroidRuntime] = None) -> Figure4Result:
+            runtime: Optional[AndroidRuntime] = None,
+            seed: int = DEFAULT_SEED) -> Figure4Result:
     """Figure 4: 64KB large-page sparsity analysis."""
-    runtime = runtime or build_runtime("shared-ptp")
+    runtime = runtime or build_runtime("shared-ptp", seed=seed)
     probes = _probes(runtime, scale.apps)
     return Figure4Result(sparsity_analysis({
         p.profile.name: p.footprint.preloaded_code for p in probes

@@ -2,85 +2,236 @@
 
 Usage::
 
-    satr table4                # one artefact
-    satr launch                # one experiment group (figures 7-9)
-    satr all --scale quick     # everything, reduced sizing
+    satr table4                      # one artefact
+    satr launch                      # one experiment group (figures 7-9)
+    satr all --scale quick           # everything, reduced sizing
+    satr all --scale quick --jobs 4  # ... on a 4-process pool
+    satr all --seed 11               # vary the simulation seed
+    satr all --no-cache              # force recomputation
+
+Every target is planned as a list of deterministic cells plus a pure
+merge (see :mod:`repro.orchestrate`), so ``--jobs N`` runs cells on a
+process pool and a warm result cache replays them, with byte-identical
+reports either way.  Reports go to stdout; timing, progress and the
+cache hit/miss summary go to stderr, so stdout stays comparable across
+runs.
 """
 
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
 
 from repro.experiments import ablations, fork, ipc, launch, motivation, steady
-from repro.experiments.common import SCALES, Scale
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    SCALES,
+    Scale,
+    scale_from_params,
+    scale_to_params,
+)
+from repro.orchestrate import (
+    Cell,
+    Orchestrator,
+    ResultCache,
+    Telemetry,
+    kernel_config_fields,
+)
 
 
-def _motivation_all(scale: Scale) -> str:
-    from repro.experiments.common import build_runtime
+# ---------------------------------------------------------------------------
+# Rendered cells: artefacts whose driver runs whole inside one cell.
+# ---------------------------------------------------------------------------
 
-    runtime = build_runtime("shared-ptp")
-    parts = [
-        motivation.table1(scale, runtime=runtime).render(),
-        motivation.figure2(scale, runtime=runtime).render(),
-        motivation.figure3(scale, runtime=runtime).render(),
-        motivation.table2(scale, runtime=runtime).render(),
-        motivation.figure4(scale, runtime=runtime).render(),
+#: Drivers wrapped as single cells: artefact -> f(scale, seed) -> report.
+#: Used for the motivation studies (each boots its own runtime) and the
+#: ablations (each is a self-contained comparison).
+RENDERED_DRIVERS: Dict[str, Callable[[Scale, int], str]] = {
+    "table1": lambda s, seed: motivation.table1(s, seed=seed).render(),
+    "figure2": lambda s, seed: motivation.figure2(s, seed=seed).render(),
+    "figure3": lambda s, seed: motivation.figure3(s, seed=seed).render(),
+    "table2": lambda s, seed: motivation.table2(s, seed=seed).render(),
+    "figure4": lambda s, seed: motivation.figure4(s, seed=seed).render(),
+    "ablation-unshare-copy":
+        lambda s, seed: ablations.unshare_copy_ablation(s, seed=seed).render(),
+    "ablation-l1-write-protect":
+        lambda s, seed: ablations.l1_write_protect_ablation(
+            s, seed=seed).render(),
+    "ablation-domainless":
+        lambda s, seed: ablations.domainless_ablation(s, seed=seed).render(),
+    "ablation-large-page":
+        lambda s, seed: ablations.large_page_ablation().render(),
+    "ablation-cache-pollution":
+        lambda s, seed: ablations.cache_pollution_experiment(
+            seed=seed).render(),
+    "ablation-scalability":
+        lambda s, seed: ablations.scalability_sweep(seed=seed).render(),
+}
+
+#: The six ablation artefacts, in presentation order.
+ABLATION_ARTEFACTS = [
+    "ablation-unshare-copy", "ablation-l1-write-protect",
+    "ablation-domainless", "ablation-large-page",
+    "ablation-cache-pollution", "ablation-scalability",
+]
+
+#: The five motivation artefacts, in presentation order.
+MOTIVATION_ARTEFACTS = ["table1", "figure2", "figure3", "table2", "figure4"]
+
+
+def rendered_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one rendered-artefact driver inside a cell."""
+    driver = RENDERED_DRIVERS[params["artefact"]]
+    scale = scale_from_params(params["scale"])
+    return {"report": driver(scale, params["seed"])}
+
+
+def _all_config_fields() -> Dict[str, Any]:
+    """Every kernel configuration's fields, for multi-config cells.
+
+    Rendered cells may boot several kernels internally, so their digest
+    conservatively covers all four configurations — any policy-knob
+    change invalidates them.
+    """
+    from repro.experiments.common import CONFIG_FACTORIES
+
+    return {name: kernel_config_fields(name) for name in CONFIG_FACTORIES}
+
+
+def rendered_cells(artefacts: List[str], scale: Scale,
+                   seed: int) -> List[Cell]:
+    """One single-cell plan entry per rendered artefact."""
+    return [
+        Cell(
+            experiment=artefact,
+            cell_id="report",
+            fn="repro.experiments.runner:rendered_cell",
+            params={
+                "artefact": artefact,
+                "scale": scale_to_params(scale),
+                "seed": seed,
+            },
+            config_fields=_all_config_fields(),
+        )
+        for artefact in artefacts
     ]
-    return "\n\n".join(parts)
 
 
-def _ablations_all(scale: Scale) -> str:
-    parts = [
-        ablations.unshare_copy_ablation(scale).render(),
-        ablations.l1_write_protect_ablation(scale).render(),
-        ablations.domainless_ablation(scale).render(),
-        ablations.large_page_ablation().render(),
-        ablations.cache_pollution_experiment().render(),
-        ablations.scalability_sweep().render(),
-    ]
-    return "\n\n".join(parts)
+def _join_reports(payloads: List[Dict[str, Any]]) -> str:
+    return "\n\n".join(p["report"] for p in payloads)
 
 
-#: target name -> callable(scale) -> printable report.
-TARGETS: Dict[str, Callable[[Scale], str]] = {
-    "table1": lambda s: motivation.table1(s).render(),
-    "figure2": lambda s: motivation.figure2(s).render(),
-    "figure3": lambda s: motivation.figure3(s).render(),
-    "table2": lambda s: motivation.table2(s).render(),
-    "figure4": lambda s: motivation.figure4(s).render(),
-    "motivation": _motivation_all,
-    "table3": lambda s: fork.table3(s).render(),
-    "table4": lambda s: fork.table4(s).render(),
-    "fork": lambda s: "\n\n".join([fork.table4(s).render(),
-                                   fork.table3(s).render()]),
-    "figure7": lambda s: launch.run_launch_experiment(s).render_figure7(),
-    "figure8": lambda s: launch.run_launch_experiment(s).render_figure8(),
-    "figure9": lambda s: launch.run_launch_experiment(s).render_figure9(),
-    "launch": lambda s: launch.run_launch_experiment(s).render(),
-    "figure10": lambda s: steady.run_steady_experiment(s).render_figure10(),
-    "figure11": lambda s: steady.run_steady_experiment(s).render_figure11(),
-    "figure12": lambda s: steady.run_steady_experiment(s).render_figure12(),
-    "steady": lambda s: steady.run_steady_experiment(s).render(),
-    "figure13": lambda s: ipc.run_ipc_experiment(s).render(),
-    "ipc": lambda s: ipc.run_ipc_experiment(s).render(),
-    "ablations": _ablations_all,
+# ---------------------------------------------------------------------------
+# Target planning: every target -> cells + merge.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TargetPlan:
+    """What one target needs: its cells and how to render their output."""
+
+    cells: List[Cell]
+    render: Callable[[List[Any]], str]
+
+
+def _rendered_planner(artefacts: List[str]) -> Callable[[Scale, int],
+                                                        TargetPlan]:
+    def planner(scale: Scale, seed: int) -> TargetPlan:
+        return TargetPlan(rendered_cells(artefacts, scale, seed),
+                          _join_reports)
+    return planner
+
+
+def _launch_planner(render: Callable[[launch.LaunchResult], str]):
+    def planner(scale: Scale, seed: int) -> TargetPlan:
+        return TargetPlan(launch.launch_cells(scale, seed),
+                          lambda ps: render(launch.merge_launch(ps)))
+    return planner
+
+
+def _steady_planner(render: Callable[[steady.SteadyResult], str]):
+    def planner(scale: Scale, seed: int) -> TargetPlan:
+        return TargetPlan(steady.steady_cells(scale, seed),
+                          lambda ps: render(steady.merge_steady(ps)))
+    return planner
+
+
+def _fork_planner(scale: Scale, seed: int) -> TargetPlan:
+    table4_cells = fork.table4_cells(scale, seed)
+    split = len(table4_cells)
+
+    def render(payloads: List[Any]) -> str:
+        return "\n\n".join([
+            fork.merge_table4(payloads[:split]).render(),
+            fork.merge_table3(payloads[split:]).render(),
+        ])
+
+    return TargetPlan(table4_cells + fork.table3_cells(scale, seed), render)
+
+
+#: target name -> planner(scale, seed) -> TargetPlan.
+TARGETS: Dict[str, Callable[[Scale, int], TargetPlan]] = {
+    "table1": _rendered_planner(["table1"]),
+    "figure2": _rendered_planner(["figure2"]),
+    "figure3": _rendered_planner(["figure3"]),
+    "table2": _rendered_planner(["table2"]),
+    "figure4": _rendered_planner(["figure4"]),
+    "motivation": _rendered_planner(MOTIVATION_ARTEFACTS),
+    "table3": lambda s, seed: TargetPlan(
+        fork.table3_cells(s, seed),
+        lambda ps: fork.merge_table3(ps).render()),
+    "table4": lambda s, seed: TargetPlan(
+        fork.table4_cells(s, seed),
+        lambda ps: fork.merge_table4(ps).render()),
+    "fork": _fork_planner,
+    "figure7": _launch_planner(lambda r: r.render_figure7()),
+    "figure8": _launch_planner(lambda r: r.render_figure8()),
+    "figure9": _launch_planner(lambda r: r.render_figure9()),
+    "launch": _launch_planner(lambda r: r.render()),
+    "figure10": _steady_planner(lambda r: r.render_figure10()),
+    "figure11": _steady_planner(lambda r: r.render_figure11()),
+    "figure12": _steady_planner(lambda r: r.render_figure12()),
+    "steady": _steady_planner(lambda r: r.render()),
+    "figure13": lambda s, seed: TargetPlan(
+        ipc.ipc_cells(s, seed=seed),
+        lambda ps: ipc.merge_ipc(ps).render()),
+    "ipc": lambda s, seed: TargetPlan(
+        ipc.ipc_cells(s, seed=seed),
+        lambda ps: ipc.merge_ipc(ps).render()),
+    "ablations": _rendered_planner(ABLATION_ARTEFACTS),
 }
 
 #: Groups executed by ``satr all`` (each covers several artefacts).
 ALL_GROUPS = ["motivation", "fork", "launch", "steady", "ipc", "ablations"]
 
 
-def run_target(target: str, scale: Scale) -> str:
-    """Run one named experiment target and return its report."""
+@dataclass
+class RunContext:
+    """How to execute: the orchestrator (jobs + cache) and the seed."""
+
+    orchestrator: Orchestrator = field(default_factory=Orchestrator)
+    seed: int = DEFAULT_SEED
+
+
+def plan_target(target: str, scale: Scale,
+                seed: int = DEFAULT_SEED) -> TargetPlan:
+    """The cell list and merge for one named target."""
     try:
-        driver = TARGETS[target]
+        planner = TARGETS[target]
     except KeyError:
         raise SystemExit(
             f"unknown target {target!r}; choose from "
             f"{', '.join(sorted(TARGETS) + ['all'])}"
         )
-    return driver(scale)
+    return planner(scale, seed)
+
+
+def run_target(target: str, scale: Scale,
+               ctx: RunContext = None) -> str:
+    """Run one named experiment target and return its report."""
+    ctx = ctx or RunContext()
+    plan = plan_target(target, scale, ctx.seed)
+    return plan.render(ctx.orchestrator.run(plan.cells))
 
 
 def main(argv=None) -> int:
@@ -99,17 +250,46 @@ def main(argv=None) -> int:
         "--scale", default="default", choices=sorted(SCALES),
         help="experiment sizing (quick ~seconds, paper ~many minutes)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for cell execution (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=f"simulation seed fed to every cell (default: {DEFAULT_SEED})",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache root (default: $SATR_CACHE_DIR or ~/.cache/satr)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell; neither read nor write the cache",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     scale = SCALES[args.scale]
+
+    telemetry = Telemetry(
+        progress=lambda line: print(line, file=sys.stderr, flush=True))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    ctx = RunContext(
+        orchestrator=Orchestrator(jobs=args.jobs, cache=cache,
+                                  telemetry=telemetry),
+        seed=args.seed,
+    )
 
     targets = ALL_GROUPS if args.target == "all" else [args.target]
     for target in targets:
         started = time.time()
-        report = run_target(target, scale)
+        report = run_target(target, scale, ctx)
         elapsed = time.time() - started
-        print(f"=== {target} (scale={scale.name}, {elapsed:.1f}s) ===")
+        print(f"[satr] {target}: {elapsed:.1f}s", file=sys.stderr)
+        print(f"=== {target} (scale={scale.name}) ===")
         print(report)
         print()
+    print(telemetry.summary(), file=sys.stderr)
     return 0
 
 

@@ -12,17 +12,21 @@ sweep yields:
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.rng import DeterministicRng
 from repro.common.stats import mean
 from repro.android.layout import LayoutMode
 from repro.experiments.common import (
     DEFAULT,
+    DEFAULT_SEED,
     Scale,
     build_runtime,
     format_table,
+    scale_from_params,
+    scale_to_params,
 )
+from repro.orchestrate import Cell, Orchestrator, kernel_config_fields
 from repro.workloads.profiles import APP_PROFILES
 from repro.workloads.session import LaunchMeasurement, launch_app
 
@@ -179,37 +183,91 @@ class SteadyResult:
         ])
 
 
-def run_steady_experiment(scale: Scale = DEFAULT) -> SteadyResult:
-    """The full steady-state sweep."""
+# ---------------------------------------------------------------------------
+# Cell decomposition: one cell per kernel configuration.
+# ---------------------------------------------------------------------------
+
+def steady_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One configuration's full per-app sweep (a self-contained cell).
+
+    Apps under one configuration share a runtime on purpose — earlier
+    launches warm the zygote's shared PTPs for later ones, part of what
+    the steady-state figures measure — so the cell boundary is the
+    configuration, where state genuinely resets.
+    """
+    scale = scale_from_params(params["scale"])
+    config_label = params["label"]
     apps = list(scale.apps) if scale.apps else list(APP_PROFILES)
+    runtime = build_runtime(params["config"],
+                            mode=LayoutMode[params["mode"]],
+                            seed=params["seed"])
+    per_app = {}
+    for app in apps:
+        profile = APP_PROFILES[app]
+        rng = DeterministicRng(50, app)
+        rounds: List[LaunchMeasurement] = []
+        total_rounds = 1 + scale.steady_rounds  # cold + warm rounds
+        for round_index in range(total_rounds):
+            session = launch_app(
+                runtime, profile, rng,
+                revisit_passes=scale.revisit_passes,
+                base_burst=scale.base_burst,
+                round_seed=round_index,
+            )
+            rounds.append(session.launch)
+            session.finish()
+        warm = rounds[1:] if len(rounds) > 1 else rounds
+        per_app[app] = {
+            "file_faults": mean(m.file_backed_faults for m in warm),
+            "ptps_allocated": mean(m.ptps_allocated for m in warm),
+            "ptes_copied": mean(m.ptes_copied for m in warm),
+            "shared_ptps": mean(m.shared_ptps_end for m in warm),
+            "populated_slots": mean(m.populated_slots_end for m in warm),
+        }
+    return {"label": config_label, "apps": apps, "per_app": per_app}
+
+
+def steady_cells(scale: Scale = DEFAULT,
+                 seed: int = DEFAULT_SEED) -> List[Cell]:
+    """The four-configuration steady sweep as independent cells."""
+    return [
+        Cell(
+            experiment="steady",
+            cell_id=config_label,
+            fn="repro.experiments.steady:steady_cell",
+            params={
+                "label": config_label,
+                "config": config_name,
+                "mode": mode.name,
+                "scale": scale_to_params(scale),
+                "seed": seed,
+            },
+            config_fields=kernel_config_fields(config_name),
+        )
+        for config_label, config_name, mode in STEADY_CONFIGS
+    ]
+
+
+def merge_steady(payloads: List[Dict[str, Any]]) -> SteadyResult:
+    """Pure merge: cell payloads (in cell order) -> SteadyResult."""
     results: Dict[Tuple[str, str], SteadyAppResult] = {}
-    for config_label, config_name, mode in STEADY_CONFIGS:
-        runtime = build_runtime(config_name, mode=mode)
+    apps: List[str] = []
+    for payload in payloads:
+        apps = payload["apps"]
         for app in apps:
-            profile = APP_PROFILES[app]
-            rng = DeterministicRng(50, app)
-            rounds: List[LaunchMeasurement] = []
-            total_rounds = 1 + scale.steady_rounds  # cold + warm rounds
-            for round_index in range(total_rounds):
-                session = launch_app(
-                    runtime, profile, rng,
-                    revisit_passes=scale.revisit_passes,
-                    base_burst=scale.base_burst,
-                    round_seed=round_index,
-                )
-                rounds.append(session.launch)
-                session.finish()
-            warm = rounds[1:] if len(rounds) > 1 else rounds
-            results[(config_label, app)] = SteadyAppResult(
-                app=app,
-                config=config_label,
-                file_faults=mean(m.file_backed_faults for m in warm),
-                ptps_allocated=mean(m.ptps_allocated for m in warm),
-                ptes_copied=mean(m.ptes_copied for m in warm),
-                shared_ptps=mean(m.shared_ptps_end for m in warm),
-                populated_slots=mean(m.populated_slots_end for m in warm),
+            fields = payload["per_app"][app]
+            results[(payload["label"], app)] = SteadyAppResult(
+                app=app, config=payload["label"], **fields,
             )
     return SteadyResult(results=results, apps=apps)
+
+
+def run_steady_experiment(scale: Scale = DEFAULT,
+                          orchestrator: Optional[Orchestrator] = None,
+                          seed: int = DEFAULT_SEED) -> SteadyResult:
+    """The full steady-state sweep."""
+    orchestrator = orchestrator or Orchestrator()
+    return merge_steady(orchestrator.run(steady_cells(scale, seed)))
 
 
 figure10 = figure11 = figure12 = run_steady_experiment

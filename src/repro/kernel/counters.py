@@ -7,7 +7,7 @@ both the global counter set and the current task's set, so experiments
 can report either view.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -77,26 +77,47 @@ class Counters:
         )
 
     def snapshot(self) -> "Counters":
-        """An independent copy for windowed measurements."""
-        copy = Counters(**{
-            key: value for key, value in vars(self).items()
-            if key != "unshare_by_trigger"
-        })
-        copy.unshare_by_trigger = dict(self.unshare_by_trigger)
-        return copy
+        """An independent copy for windowed measurements.
+
+        Declared-field iteration (not ``vars()``) so a field added with
+        a non-numeric, non-dict type fails loudly here instead of
+        silently corrupting later deltas.
+        """
+        kwargs = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, dict):
+                kwargs[spec.name] = dict(value)
+            elif isinstance(value, (int, float)):
+                kwargs[spec.name] = value
+            else:
+                raise TypeError(
+                    f"Counters.{spec.name} is {type(value).__name__}; "
+                    "snapshot()/delta_since() support int, float and "
+                    "dict counters only"
+                )
+        return Counters(**kwargs)
 
     def delta_since(self, earlier: "Counters") -> "Counters":
         """Field-wise difference against an earlier snapshot."""
-        delta = Counters(**{
-            key: value - getattr(earlier, key)
-            for key, value in vars(self).items()
-            if key != "unshare_by_trigger"
-        })
-        delta.unshare_by_trigger = {
-            trigger: count - earlier.unshare_by_trigger.get(trigger, 0)
-            for trigger, count in self.unshare_by_trigger.items()
-        }
-        return delta
+        kwargs = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            previous = getattr(earlier, spec.name)
+            if isinstance(value, dict):
+                kwargs[spec.name] = {
+                    key: count - previous.get(key, 0)
+                    for key, count in value.items()
+                }
+            elif isinstance(value, (int, float)):
+                kwargs[spec.name] = value - previous
+            else:
+                raise TypeError(
+                    f"Counters.{spec.name} is {type(value).__name__}; "
+                    "snapshot()/delta_since() support int, float and "
+                    "dict counters only"
+                )
+        return Counters(**kwargs)
 
 
 class CounterScope:

@@ -1,0 +1,83 @@
+"""Content-addressed on-disk cache for cell results.
+
+Layout (under the cache root, default ``~/.cache/satr`` or
+``$SATR_CACHE_DIR``)::
+
+    <root>/<digest[:2]>/<digest>.json
+
+Each artifact is one JSON document carrying the cell description, its
+payload, and the compute time it saved.  Keys are the cell digest —
+sha256 over package version, experiment/cell identity, the full
+parameter set (scale and seed included) and the kernel-configuration
+fields — so *any* change to the code version or the experiment inputs
+misses cleanly, while an unrelated edit re-hits.
+
+Writes are atomic (temp file + ``os.replace``) so a parallel run's
+workers and a concurrent reader can never observe a torn artifact.
+Corrupt or unreadable artifacts are treated as misses, never errors.
+"""
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro import __version__
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "SATR_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """The cache root: ``$SATR_CACHE_DIR`` or ``~/.cache/satr``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "satr")
+
+
+class ResultCache:
+    """Digest-keyed JSON artifact store."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_dir()
+
+    def path(self, digest: str) -> str:
+        """The artifact path for one digest."""
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    def load(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The stored artifact, or None on miss/corruption."""
+        try:
+            with open(self.path(digest), "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or "payload" not in record:
+            return None
+        return record
+
+    def store(self, digest: str, cell_dict: Dict[str, Any],
+              payload: Any, elapsed: float) -> None:
+        """Atomically write one artifact; failures are non-fatal."""
+        record = {
+            "digest": digest,
+            "version": __version__,
+            "cell": cell_dict,
+            "payload": payload,
+            "elapsed": elapsed,
+        }
+        directory = os.path.dirname(self.path(digest))
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(record, handle, sort_keys=True)
+                os.replace(tmp_path, self.path(digest))
+            except BaseException:
+                os.unlink(tmp_path)
+                raise
+        except OSError:
+            # A read-only or full disk degrades to "no cache", silently.
+            pass

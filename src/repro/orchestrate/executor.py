@@ -1,0 +1,109 @@
+"""Cell executors: serial, and a spawn-safe process pool.
+
+Both executors take ``(index, cell_dict)`` work items and return
+``(index, payload, elapsed_seconds)`` triples **in input order**, so
+callers can slot results back into the cell list deterministically no
+matter which worker finished first.
+
+The process pool uses the ``spawn`` start method everywhere: it is the
+only method available on all platforms, and it forces cells through the
+same "fresh import + plain-dict arguments" path the cache replay uses,
+which keeps parallel results honest.  If the pool cannot be created or
+dies (no ``_multiprocessing``, sandboxed semaphores, missing fork), the
+remaining cells fall back to in-process serial execution — slower,
+never wrong.
+"""
+
+import sys
+import time
+import warnings
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.orchestrate.cells import execute_cell
+
+#: (index, cell description) — what executors consume.
+WorkItem = Tuple[int, Dict[str, Any]]
+#: (index, payload, elapsed seconds) — what executors produce.
+CellRun = Tuple[int, Any, float]
+
+
+def _run_one(item: WorkItem) -> CellRun:
+    """Execute one cell and time it (top-level: picklable for pools)."""
+    index, cell_dict = item
+    started = time.perf_counter()
+    payload = execute_cell(cell_dict)
+    return index, payload, time.perf_counter() - started
+
+
+def _init_worker(extra_paths: List[str]) -> None:
+    """Make ``repro`` importable in spawn-started workers.
+
+    Spawn re-imports from scratch; if the parent found the package via a
+    runtime ``sys.path`` edit (tests, PYTHONPATH-less invocations), the
+    child would not, so the parent ships its package location along.
+    """
+    for path in extra_paths:
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def _package_paths() -> List[str]:
+    """Where the ``repro`` package was imported from."""
+    import repro
+
+    package_dir = getattr(repro, "__file__", None)
+    if package_dir is None:
+        return []
+    import os
+
+    return [os.path.dirname(os.path.dirname(os.path.abspath(package_dir)))]
+
+
+def run_serial(items: Iterable[WorkItem]) -> List[CellRun]:
+    """Execute work items one after another, in order."""
+    return [_run_one(item) for item in items]
+
+
+def run_parallel(items: List[WorkItem], jobs: int) -> List[CellRun]:
+    """Execute work items on a spawn process pool; results in input order.
+
+    Any failure to *operate the pool itself* (creation, worker startup,
+    a broken pool) falls back to serial execution of the not-yet-done
+    items.  Exceptions raised by a cell function propagate unchanged —
+    a deterministic cell that fails in a worker fails serially too.
+    """
+    if jobs <= 1 or len(items) <= 1:
+        return run_serial(items)
+    done: Dict[int, CellRun] = {}
+    try:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        context = multiprocessing.get_context("spawn")
+        workers = min(jobs, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context,
+            initializer=_init_worker, initargs=(_package_paths(),),
+        ) as pool:
+            try:
+                for run in pool.map(_run_one, items):
+                    done[run[0]] = run
+            except BrokenProcessPool:
+                raise _PoolUnavailable("process pool died mid-run")
+    except (_PoolUnavailable, ImportError, OSError, PermissionError,
+            ValueError) as exc:
+        warnings.warn(
+            f"parallel execution unavailable ({exc}); running serially",
+            RuntimeWarning, stacklevel=2,
+        )
+        remaining = [item for item in items if item[0] not in done]
+        return sorted(
+            list(done.values()) + run_serial(remaining),
+            key=lambda run: run[0],
+        )
+    return [done[index] for index, _ in items]
+
+
+class _PoolUnavailable(Exception):
+    """Internal: the pool itself (not a cell) failed."""

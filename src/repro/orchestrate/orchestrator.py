@@ -1,0 +1,77 @@
+"""The orchestrator: cache-aware, optionally parallel cell execution.
+
+``Orchestrator.run`` takes a list of :class:`~repro.orchestrate.cells.Cell`
+and returns their payloads **in list order**:
+
+1. every cell's digest is probed against the result cache;
+2. the misses run through the serial or process-pool executor;
+3. fresh results are canonicalised (one JSON round trip) and stored.
+
+Because cells are deterministic, payloads are canonical JSON values,
+and results are always returned in cell order, the merged report is
+byte-identical whether cells ran serially, in parallel, or replayed
+from the cache — the correctness contract the test suite pins down.
+"""
+
+from typing import Any, List, Optional
+
+from repro.orchestrate.cache import ResultCache
+from repro.orchestrate.cells import Cell
+from repro.orchestrate.executor import run_parallel, run_serial
+from repro.orchestrate.telemetry import Telemetry
+
+
+class Orchestrator:
+    """Executes cell lists; the policy knobs live here.
+
+    ``jobs``     — worker processes (1 = in-process serial).
+    ``cache``    — a :class:`ResultCache`, or None to disable caching.
+    ``telemetry``— shared across ``run`` calls, so one ``satr all``
+                   invocation reports a single hit/miss/wall summary.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    def run(self, cells: List[Cell]) -> List[Any]:
+        """Execute (or replay) every cell; payloads in cell order."""
+        telemetry = self.telemetry
+        telemetry.batch_started()
+        total = len(cells)
+        payloads: List[Any] = [None] * total
+        digests = [cell.digest() for cell in cells]
+
+        misses = []
+        for index, cell in enumerate(cells):
+            record = self.cache.load(digests[index]) if self.cache else None
+            if record is not None:
+                payloads[index] = record["payload"]
+                telemetry.record(cell.name, digests[index],
+                                 float(record.get("elapsed", 0.0)),
+                                 cached=True, position=index + 1,
+                                 total=total)
+            else:
+                misses.append((index, cell.to_dict()))
+
+        if misses:
+            if self.jobs > 1:
+                runs = run_parallel(misses, self.jobs)
+            else:
+                runs = run_serial(misses)
+            for index, payload, elapsed in runs:
+                payloads[index] = payload
+                if self.cache is not None:
+                    self.cache.store(digests[index], cells[index].to_dict(),
+                                     payload, elapsed)
+                telemetry.record(cells[index].name, digests[index], elapsed,
+                                 cached=False, position=index + 1,
+                                 total=total)
+
+        telemetry.batch_finished()
+        return payloads

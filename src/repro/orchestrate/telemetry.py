@@ -1,0 +1,93 @@
+"""Per-cell timing and cache-traffic telemetry.
+
+The orchestrator records one :class:`CellRecord` per executed cell and
+the telemetry renders the operator-facing summary: hit/miss counts, the
+wall time of the batch, the compute time the cache avoided, and the
+slowest cells (the ones worth optimising or sharding next).
+"""
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class CellRecord:
+    """What one cell cost (or would have cost) this run."""
+
+    name: str
+    digest: str
+    elapsed: float
+    cached: bool
+
+
+@dataclass
+class Telemetry:
+    """Aggregated over one orchestrator batch (or several)."""
+
+    records: List[CellRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    #: Optional progress sink; receives one line per finished cell.
+    progress: Optional[Callable[[str], None]] = None
+    _batch_started: float = field(default=0.0, repr=False)
+
+    # -- recording ------------------------------------------------------
+
+    def batch_started(self) -> None:
+        self._batch_started = time.perf_counter()
+
+    def batch_finished(self) -> None:
+        self.wall_seconds += time.perf_counter() - self._batch_started
+
+    def record(self, name: str, digest: str, elapsed: float,
+               cached: bool, position: int, total: int) -> None:
+        """Note one finished cell and emit a progress line."""
+        self.records.append(CellRecord(name, digest, elapsed, cached))
+        if self.progress is not None:
+            status = "cache hit" if cached else f"{elapsed:.2f}s"
+            self.progress(f"[cell {position}/{total}] {name}: {status}")
+
+    # -- derived views --------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for r in self.records if r.cached)
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for r in self.records if not r.cached)
+
+    @property
+    def compute_seconds(self) -> float:
+        """Simulation time actually spent this run (misses only)."""
+        return sum(r.elapsed for r in self.records if not r.cached)
+
+    @property
+    def saved_seconds(self) -> float:
+        """Recorded compute time the cache replayed instead of re-running."""
+        return sum(r.elapsed for r in self.records if r.cached)
+
+    def slowest(self, count: int = 3) -> List[CellRecord]:
+        """The most expensive cells computed this run."""
+        fresh = [r for r in self.records if not r.cached]
+        return sorted(fresh, key=lambda r: r.elapsed, reverse=True)[:count]
+
+    def summary(self) -> str:
+        """One operator-facing line, e.g. for the end of a ``satr`` run."""
+        total = len(self.records)
+        parts = [
+            f"orchestrator: {total} cell{'s' if total != 1 else ''}",
+            f"{self.hits} cache hit{'s' if self.hits != 1 else ''}",
+            f"{self.misses} miss{'es' if self.misses != 1 else ''}",
+            f"wall {self.wall_seconds:.1f}s",
+        ]
+        if self.misses:
+            parts.append(f"compute {self.compute_seconds:.1f}s")
+        if self.hits:
+            parts.append(f"saved ~{self.saved_seconds:.1f}s")
+        line = ", ".join(parts)
+        slowest = self.slowest(1)
+        if slowest:
+            line += (f"; slowest {slowest[0].name} "
+                     f"({slowest[0].elapsed:.1f}s)")
+        return line

@@ -79,6 +79,7 @@ class TestMotivationDrivers:
 
 
 class TestForkDrivers:
+    @pytest.mark.slow
     def test_table4_shape(self):
         result = fork.table4(TINY)
         assert result.stock_over_shared > 1.5
@@ -95,6 +96,7 @@ class TestForkDrivers:
 
 
 class TestLaunchDriver:
+    @pytest.mark.slow
     def test_all_three_figures(self):
         result = launch.run_launch_experiment(TINY)
         assert len(result.series) == 4
@@ -109,6 +111,7 @@ class TestLaunchDriver:
 
 
 class TestSteadyDriver:
+    @pytest.mark.slow
     def test_sweep(self):
         result = steady.run_steady_experiment(TINY)
         assert set(result.apps) == {"Angrybirds", "Email"}
@@ -124,6 +127,7 @@ class TestSteadyDriver:
 
 
 class TestIpcDriver:
+    @pytest.mark.slow
     def test_six_configurations(self):
         result = ipc.run_ipc_experiment(TINY)
         assert len(result.results) == 6
@@ -138,11 +142,13 @@ class TestIpcDriver:
 
 
 class TestAblationDrivers:
+    @pytest.mark.slow
     def test_unshare_copy_policy(self):
         result = ablations.unshare_copy_ablation(TINY, app="Email")
         assert result.referenced_only_ptes <= result.copy_all_ptes
         assert "Ablation" in result.render()
 
+    @pytest.mark.slow
     def test_l1_write_protect(self):
         result = ablations.l1_write_protect_ablation(TINY)
         assert result.x86_wp_ptes == 0
@@ -150,6 +156,7 @@ class TestAblationDrivers:
         assert result.first_fork_speedup > 1.0
         assert "write protection" in result.render()
 
+    @pytest.mark.slow
     def test_domainless_fallback_costs_more(self):
         result = ablations.domainless_ablation(TINY)
         assert result.domain_faults >= 0
@@ -163,6 +170,7 @@ class TestAblationDrivers:
         assert result.tlb_misses_64k < result.tlb_misses_4k
         assert "64KB large pages" in result.render()
 
+    @pytest.mark.slow
     def test_cache_pollution_deduplication(self):
         """Figure 1's motivation: duplicated PTE lines in the L2."""
         result = ablations.cache_pollution_experiment(processes=3,
@@ -175,6 +183,7 @@ class TestAblationDrivers:
         assert result.line_reduction > 0.3
         assert "Figure 1" in result.render()
 
+    @pytest.mark.slow
     def test_scalability_sweep(self):
         result = ablations.scalability_sweep([1, 4])
         assert len(result.points) == 2
@@ -200,6 +209,7 @@ class TestRunner:
         with pytest.raises(SystemExit):
             run_target("nope", TINY)
 
+    @pytest.mark.slow
     def test_run_target_table4(self):
         report = run_target("table4", TINY)
         assert "zygote fork" in report

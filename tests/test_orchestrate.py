@@ -1,0 +1,276 @@
+"""The orchestration subsystem: cells, cache, executors, determinism.
+
+The load-bearing guarantee: serial, parallel and cache-replayed runs of
+the same cell list produce byte-identical rendered reports.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import fork, ipc, launch, steady
+from repro.experiments.common import (
+    QUICK,
+    Scale,
+    scale_from_params,
+    scale_to_params,
+)
+from repro.experiments.runner import RunContext, plan_target, run_target
+from repro.kernel.counters import Counters
+from repro.orchestrate import (
+    Cell,
+    Orchestrator,
+    ResultCache,
+    Telemetry,
+    canonicalize,
+    execute_cell,
+    jsonable,
+    kernel_config_fields,
+    resolve_cell_fn,
+)
+
+TINY = Scale(name="tiny", launch_rounds=2, fork_rounds=2, steady_rounds=1,
+             ipc_invocations=25, apps=("Angrybirds", "Email"),
+             revisit_passes=0, base_burst=500)
+
+
+def tiny_cell(value: int = 1) -> Cell:
+    """A cheap cell backed by the echo function below."""
+    return Cell(experiment="echo", cell_id=f"v{value}",
+                fn="tests.test_orchestrate:echo_cell",
+                params={"value": value})
+
+
+def echo_cell(params):
+    """Module-level so spawn workers and resolve_cell_fn can find it."""
+    return {"value": params["value"], "doubled": params["value"] * 2}
+
+
+class TestCellBasics:
+    def test_digest_is_stable(self):
+        assert tiny_cell(3).digest() == tiny_cell(3).digest()
+
+    def test_digest_covers_params(self):
+        assert tiny_cell(3).digest() != tiny_cell(4).digest()
+
+    def test_digest_covers_config_fields(self):
+        base = fork.table4_cells(TINY)[0]
+        changed = Cell(
+            experiment=base.experiment, cell_id=base.cell_id, fn=base.fn,
+            params=base.params,
+            config_fields=kernel_config_fields(
+                "shared-ptp", unshare_copy_referenced_only=True),
+        )
+        assert base.digest() != changed.digest()
+
+    def test_digest_covers_scale_and_seed(self):
+        by_scale = {fork.table4_cells(s)[0].digest() for s in (TINY, QUICK)}
+        assert len(by_scale) == 2
+        by_seed = {fork.table4_cells(TINY, seed=s)[0].digest()
+                   for s in (7, 8)}
+        assert len(by_seed) == 2
+
+    def test_resolve_cell_fn(self):
+        assert resolve_cell_fn("tests.test_orchestrate:echo_cell") is echo_cell
+        with pytest.raises(ValueError):
+            resolve_cell_fn("no-colon")
+        with pytest.raises(ValueError):
+            resolve_cell_fn("tests.test_orchestrate:missing")
+
+    def test_execute_cell_canonicalises(self):
+        payload = execute_cell(tiny_cell(5).to_dict())
+        assert payload == {"value": 5, "doubled": 10}
+        assert payload == canonicalize(payload)
+
+    def test_jsonable_flattens(self):
+        assert jsonable((1, 2)) == [1, 2]
+        assert jsonable({1: (2,)}) == {"1": [2]}
+        flat = jsonable(TINY)
+        assert flat["launch_rounds"] == 2 and flat["apps"] == [
+            "Angrybirds", "Email"]
+
+    def test_scale_round_trip(self):
+        assert scale_from_params(scale_to_params(TINY)) == TINY
+        assert scale_from_params(scale_to_params(QUICK)) == QUICK
+
+
+class TestOrchestrator:
+    def test_payloads_in_cell_order(self):
+        cells = [tiny_cell(v) for v in (3, 1, 2)]
+        payloads = Orchestrator().run(cells)
+        assert [p["value"] for p in payloads] == [3, 1, 2]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            Orchestrator(jobs=0)
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        first = Orchestrator(cache=cache)
+        cells = [tiny_cell(v) for v in (1, 2)]
+        cold = first.run(cells)
+        assert first.telemetry.misses == 2
+        second = Orchestrator(cache=cache)
+        warm = second.run(cells)
+        assert second.telemetry.hits == 2 and second.telemetry.misses == 0
+        assert warm == cold
+
+    def test_cache_artifact_is_json(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell = tiny_cell(9)
+        Orchestrator(cache=cache).run([cell])
+        with open(cache.path(cell.digest())) as handle:
+            record = json.load(handle)
+        assert record["payload"]["doubled"] == 18
+        assert record["cell"]["experiment"] == "echo"
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell = tiny_cell(4)
+        Orchestrator(cache=cache).run([cell])
+        with open(cache.path(cell.digest()), "w") as handle:
+            handle.write("not json{")
+        orch = Orchestrator(cache=cache)
+        assert orch.run([cell])[0]["doubled"] == 8
+        assert orch.telemetry.misses == 1
+
+    def test_telemetry_summary_and_progress(self):
+        lines = []
+        telemetry = Telemetry(progress=lines.append)
+        Orchestrator(telemetry=telemetry).run([tiny_cell(1), tiny_cell(2)])
+        assert len(lines) == 2 and "[cell 1/2]" in lines[0]
+        summary = telemetry.summary()
+        assert "2 cells" in summary and "2 misses" in summary
+
+
+class TestExperimentCells:
+    """Cell decompositions of the refactored experiment drivers."""
+
+    def test_cell_lists_shapes(self):
+        assert len(launch.launch_cells(TINY)) == 4
+        assert len(fork.table4_cells(TINY)) == 3
+        assert len(fork.table3_cells(TINY)) == 1
+        assert len(steady.steady_cells(TINY)) == 4
+        assert len(ipc.ipc_cells(TINY)) == 6
+
+    def test_config_fields_in_digest_inputs(self):
+        for cell in launch.launch_cells(TINY):
+            assert "fork_policy" in cell.config_fields
+        asid_cells = {cell.cell_id: cell.config_fields["asid_enabled"]
+                      for cell in ipc.ipc_cells(TINY)}
+        assert asid_cells["asid-stock"] is True
+        assert asid_cells["no-asid-stock"] is False
+
+    def test_kernel_config_change_invalidates_cache(self, tmp_path):
+        """A KernelConfig field flip must miss a warm cache."""
+        cache = ResultCache(str(tmp_path))
+        base = fork.table4_cells(TINY)[0]
+        Orchestrator(cache=cache).run([base])
+        changed = Cell(
+            experiment=base.experiment, cell_id=base.cell_id, fn=base.fn,
+            params=base.params,
+            config_fields=kernel_config_fields(
+                "shared-ptp", x86_style_l1_write_protect=True),
+        )
+        assert cache.load(base.digest()) is not None
+        assert cache.load(changed.digest()) is None
+
+    def test_cached_payload_reproduces_identical_bytes(self, tmp_path):
+        """A cache hit must render the exact bytes of the cold run."""
+        cache = ResultCache(str(tmp_path))
+        cold = fork.table4(TINY, orchestrator=Orchestrator(cache=cache))
+        warm_orch = Orchestrator(cache=cache)
+        warm = fork.table4(TINY, orchestrator=warm_orch)
+        assert warm_orch.telemetry.hits == 3
+        assert warm.render() == cold.render()
+
+    def test_ipc_merge_order_independent(self):
+        """Merging a permuted payload list yields the same report."""
+        cells = ipc.ipc_cells(TINY)
+        payloads = Orchestrator().run(cells)
+        assert (ipc.merge_ipc(payloads).render()
+                == ipc.merge_ipc(payloads).render())
+        reversed_result = ipc.merge_ipc(list(reversed(payloads)))
+        assert reversed_result.render() == ipc.merge_ipc(payloads).render()
+
+
+@pytest.mark.slow
+class TestSerialParallelEquality:
+    """The ISSUE acceptance bar: --jobs N output == --jobs 1 output."""
+
+    def test_table4_quick_scale(self, tmp_path):
+        serial = run_target("table4", QUICK, RunContext(Orchestrator()))
+        parallel = run_target(
+            "table4", QUICK,
+            RunContext(Orchestrator(jobs=4,
+                                    cache=ResultCache(str(tmp_path)))))
+        assert parallel == serial
+        # ... and a warm-cache replay still matches, byte for byte.
+        replay = run_target(
+            "table4", QUICK,
+            RunContext(Orchestrator(cache=ResultCache(str(tmp_path)))))
+        assert replay == serial
+
+    def test_launch_quick_scale(self):
+        serial = run_target("launch", QUICK, RunContext(Orchestrator()))
+        parallel = run_target("launch", QUICK,
+                              RunContext(Orchestrator(jobs=4)))
+        assert parallel == serial
+
+
+class TestRunnerPlanning:
+    def test_plan_target_unknown(self):
+        with pytest.raises(SystemExit):
+            plan_target("nope", TINY)
+
+    def test_every_target_has_a_plan(self):
+        from repro.experiments.runner import ALL_GROUPS, TARGETS
+
+        for target in TARGETS:
+            plan = plan_target(target, TINY)
+            assert plan.cells, target
+            assert callable(plan.render)
+        assert set(ALL_GROUPS) <= set(TARGETS)
+
+    def test_fork_group_merges_both_tables(self):
+        report = run_target("fork", TINY)
+        assert "Table 4" in report and "Table 3" in report
+
+    def test_seed_changes_results(self):
+        """--seed reaches build_runtime: a reseeded boot changes launches."""
+        base = launch.run_launch_experiment(TINY, seed=7)
+        reseeded = launch.run_launch_experiment(TINY, seed=1234)
+        assert (base.baseline.median_cycles
+                != reseeded.baseline.median_cycles)
+
+
+class TestCountersFieldIteration:
+    """The vars()->fields() satellite: deltas stay honest."""
+
+    def test_snapshot_is_independent(self):
+        counters = Counters(soft_faults=3)
+        counters.record_unshare("write")
+        snap = counters.snapshot()
+        counters.soft_faults += 1
+        counters.record_unshare("write")
+        assert snap.soft_faults == 3
+        assert snap.unshare_by_trigger == {"write": 1}
+
+    def test_delta_since_covers_dict_fields(self):
+        counters = Counters()
+        counters.record_unshare("write")
+        snap = counters.snapshot()
+        counters.record_unshare("write")
+        counters.record_unshare("munmap")
+        delta = counters.delta_since(snap)
+        assert delta.ptp_unshare_events == 2
+        assert delta.unshare_by_trigger == {"write": 1, "munmap": 1}
+
+    def test_non_numeric_field_fails_loudly(self):
+        counters = Counters()
+        counters.soft_faults = "oops"
+        with pytest.raises(TypeError):
+            counters.snapshot()
+        with pytest.raises(TypeError):
+            counters.delta_since(Counters())

@@ -13,12 +13,28 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
 class TestCli:
-    def test_main_runs_one_target(self, capsys):
-        exit_code = runner.main(["table2", "--scale", "quick"])
+    def test_main_runs_one_target(self, capsys, tmp_path):
+        exit_code = runner.main(["table2", "--scale", "quick",
+                                 "--cache-dir", str(tmp_path)])
         assert exit_code == 0
-        out = capsys.readouterr().out
-        assert "=== table2" in out
-        assert "Table 2" in out
+        captured = capsys.readouterr()
+        assert "=== table2" in captured.out
+        assert "Table 2" in captured.out
+        assert "orchestrator:" in captured.err
+
+    def test_main_warm_cache_reproduces_stdout(self, capsys, tmp_path):
+        runner.main(["table2", "--scale", "quick",
+                     "--cache-dir", str(tmp_path)])
+        cold = capsys.readouterr().out
+        runner.main(["table2", "--scale", "quick",
+                     "--cache-dir", str(tmp_path)])
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_main_no_cache_flag(self, capsys, tmp_path):
+        exit_code = runner.main(["table2", "--scale", "quick", "--no-cache"])
+        assert exit_code == 0
+        assert "0 cache hits" in capsys.readouterr().err
 
     def test_main_rejects_unknown_target(self):
         with pytest.raises(SystemExit):
@@ -35,9 +51,9 @@ class TestCli:
 
 
 @pytest.mark.parametrize("script", [
-    "quickstart.py",
+    pytest.param("quickstart.py", marks=pytest.mark.slow),
     "pagetable_walkthrough.py",
-    "scalability_study.py",
+    pytest.param("scalability_study.py", marks=pytest.mark.slow),
 ])
 def test_example_runs(script):
     """Each example completes and prints something meaningful."""
