@@ -37,7 +37,11 @@ class AccessEvent:
     def __post_init__(self) -> None:
         if self.count < 1:
             raise ValueError("burst count must be >= 1")
-        self.lines = max(1, min(self.lines, 128))
+        if not 1 <= self.lines <= 128:
+            raise ValueError(
+                f"lines must be in [1, 128] (a 4KB page holds 128 "
+                f"32-byte cache lines), got {self.lines}"
+            )
 
 
 def ifetch(vaddr: int, count: int = 64, lines: int = 8) -> AccessEvent:

@@ -45,6 +45,7 @@ from repro.kernel.counters import CounterScope
 from repro.kernel.mm import MmStruct
 from repro.kernel.task import Task
 from repro.kernel.vma import Vma
+from repro.trace import NULL_TRACER, EventType
 
 
 @dataclass
@@ -68,10 +69,12 @@ class PageTableManager:
     """
 
     def __init__(self, memory: PhysicalMemory, cost: CostModel,
-                 config, tlb_flush_task, tlb_flush_all) -> None:
+                 config, tlb_flush_task, tlb_flush_all,
+                 tracer=None) -> None:
         self._memory = memory
         self._cost = cost
         self._config = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: ``tlb_flush_task(task)`` drops one task's TLB entries.
         self._tlb_flush_task = tlb_flush_task
         #: ``tlb_flush_all()`` is the heavy hammer for cross-space changes.
@@ -111,6 +114,11 @@ class PageTableManager:
         if slot.need_copy and ptp.sharer_count > 1:
             task.mm.tables.detach(slot_index)
             counters.record_unshare("exit")
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(EventType.PTP_UNSHARE, pid=task.pid,
+                            ptp=slot_index, cause="exit",
+                            value=ptp.sharer_count)
             return
         # Sole owner: reclaim fully.
         free_frames(ptp)
@@ -186,6 +194,11 @@ class PageTableManager:
                 slot_index, ptp, need_copy=True, domain=slot.domain
             )
             counters.bump("ptp_share_events")
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(EventType.PTP_SHARE, pid=child.pid,
+                            ptp=slot_index, cause="fork",
+                            value=ptp.sharer_count)
             outcome.slots_shared += 1
             outcome.cycles += self._cost.ptp_share_ref
         if parent_wp_done:
@@ -215,6 +228,11 @@ class PageTableManager:
                 f"unshare of non-shared slot {slot_index} (pid {task.pid})"
             )
         counters.record_unshare(trigger)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(EventType.PTP_UNSHARE, pid=task.pid,
+                        ptp=slot_index, cause=trigger,
+                        value=slot.ptp.sharer_count)
         if charge is not None:
             charge(self._cost.unshare_base)
         shared_ptp = slot.ptp

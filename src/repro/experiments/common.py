@@ -76,8 +76,14 @@ def build_runtime(
     mode: LayoutMode = LayoutMode.ORIGINAL,
     asid_enabled: bool = True,
     seed: int = 7,
+    tracer=None,
 ) -> AndroidRuntime:
-    """A booted Android runtime under one kernel configuration."""
+    """A booted Android runtime under one kernel configuration.
+
+    ``tracer`` (a :class:`repro.trace.Tracer`) is attached *before*
+    boot, so a trace covers the kernel's whole lifetime and its
+    per-type counts can be compared against the global counters.
+    """
     try:
         config: KernelConfig = CONFIG_FACTORIES[config_name]()
     except KeyError:
@@ -86,7 +92,7 @@ def build_runtime(
             f"{sorted(CONFIG_FACTORIES)}"
         ) from None
     config = config.with_(asid_enabled=asid_enabled)
-    kernel = Kernel(config=config)
+    kernel = Kernel(config=config, tracer=tracer)
     return boot_android(kernel, mode=mode, seed=seed)
 
 

@@ -15,6 +15,12 @@ process pool and a warm result cache replays them, with byte-identical
 reports either way.  Reports go to stdout; timing, progress and the
 cache hit/miss summary go to stderr, so stdout stays comparable across
 runs.
+
+The ``trace`` subcommand records structured kernel events while one of
+the workloads runs and exports them::
+
+    satr trace fork --scale quick --format chrome -o /tmp/t.json
+    satr trace launch --format jsonl -o launch.jsonl
 """
 
 import argparse
@@ -234,8 +240,75 @@ def run_target(target: str, scale: Scale,
     return plan.render(ctx.orchestrator.run(plan.cells))
 
 
+def trace_main(argv) -> int:
+    """The ``satr trace`` subcommand: run, report, export."""
+    from repro.experiments import tracing
+    from repro.trace import DEFAULT_RING_SIZE
+
+    parser = argparse.ArgumentParser(
+        prog="satr trace",
+        description=("Record structured kernel events (faults, PTP "
+                     "share/unshare, TLB fill/flush, ...) while a "
+                     "workload runs; export JSONL or a Perfetto-loadable "
+                     "Chrome trace."),
+    )
+    parser.add_argument("target", choices=tracing.TRACE_TARGETS,
+                        help="workload to trace")
+    parser.add_argument("--scale", default="default",
+                        choices=sorted(SCALES))
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--format", default="chrome",
+                        choices=("chrome", "jsonl"),
+                        help="export format (default: chrome)")
+    parser.add_argument("--ring-size", type=int,
+                        default=DEFAULT_RING_SIZE, metavar="N",
+                        help="trace ring-buffer capacity "
+                             f"(default: {DEFAULT_RING_SIZE})")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="output file (default: trace-<target>.json "
+                             "or .jsonl)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR")
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.ring_size < 1:
+        parser.error("--ring-size must be >= 1")
+    scale = SCALES[args.scale]
+    output = args.output or (
+        f"trace-{args.target}.json" if args.format == "chrome"
+        else f"trace-{args.target}.jsonl"
+    )
+
+    telemetry = Telemetry(
+        progress=lambda line: print(line, file=sys.stderr, flush=True))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    orchestrator = Orchestrator(jobs=args.jobs, cache=cache,
+                                telemetry=telemetry)
+
+    started = time.time()
+    result = tracing.run_trace(args.target, scale,
+                               orchestrator=orchestrator,
+                               seed=args.seed, ring_size=args.ring_size)
+    written = tracing.export_result(result, output, args.format,
+                                    scale_name=scale.name, seed=args.seed)
+    elapsed = time.time() - started
+    print(f"[satr] trace {args.target}: {elapsed:.1f}s, "
+          f"{written} events -> {output}", file=sys.stderr)
+    print(f"=== trace {args.target} (scale={scale.name}) ===")
+    print(result.render())
+    print()
+    print(telemetry.summary(), file=sys.stderr)
+    return 0 if result.all_agree else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="satr",
         description=("Shared Address Translation Revisited (EuroSys'16) — "
@@ -244,7 +317,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        help=f"one of: all, {', '.join(sorted(TARGETS))}",
+        help=f"one of: all, trace, {', '.join(sorted(TARGETS))}",
     )
     parser.add_argument(
         "--scale", default="default", choices=sorted(SCALES),

@@ -40,6 +40,7 @@ from repro.common.cost import CostModel
 from repro.hw.domain import Dacr, DomainAccess
 from repro.hw.pagetable import Pte
 from repro.hw.tlb import TlbEntry
+from repro.trace import NULL_TRACER, EventType
 
 #: Synthetic PFN base for kernel text/data; far above any frame the
 #: allocator will hand out, so kernel lines never alias user lines.
@@ -79,6 +80,9 @@ class MmuResult:
 
 class Mmu:
     """Per-platform MMU logic; per-core state lives in :class:`Core`."""
+
+    #: Event tracer; the kernel overwrites this when tracing is enabled.
+    tracer = NULL_TRACER
 
     def __init__(self, cost: CostModel) -> None:
         self.cost = cost
@@ -120,6 +124,11 @@ class Mmu:
                     return result
                 core.main_tlb.insert(entry)
                 micro.insert(entry, key_vpn=vpn)
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.emit(EventType.TLB_FILL, pid=task.pid,
+                                vaddr=vaddr, cause="user-walk",
+                                value=entry.span_pages)
 
         result.entry = entry
         return self._check_entry(task.dacr, entry, access, result)
@@ -211,6 +220,11 @@ class Mmu:
                     span_pages=PAGES_PER_SECTION,
                 )
                 core.main_tlb.insert(entry)
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.emit(EventType.TLB_FILL, pid=task.pid,
+                                vaddr=vaddr, cause="kernel-section",
+                                value=entry.span_pages)
             micro.insert(entry, key_vpn=vpn)
 
         result.entry = entry

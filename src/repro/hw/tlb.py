@@ -32,6 +32,7 @@ from repro.common.constants import (
     MICRO_TLB_ENTRIES,
 )
 from repro.common.errors import ConfigError
+from repro.trace import NULL_TRACER, EventType
 
 
 @dataclass
@@ -80,6 +81,9 @@ class TlbStats:
 
 class MainTlb:
     """Unified set-associative main TLB with ASID/global/domain support."""
+
+    #: Event tracer; the kernel overwrites this when tracing is enabled.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -140,6 +144,10 @@ class MainTlb:
             tlb_set.clear()
         self.stats.flushes += 1
         self.stats.entries_flushed += flushed
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(EventType.TLB_FLUSH, cause="flush-all",
+                        value=flushed)
         return flushed
 
     def flush_non_global(self) -> int:
@@ -151,6 +159,10 @@ class MainTlb:
             self._sets[index] = kept
         self.stats.flushes += 1
         self.stats.entries_flushed += flushed
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(EventType.TLB_FLUSH, cause="flush-non-global",
+                        value=flushed)
         return flushed
 
     def flush_asid(self, asid: int) -> int:
@@ -162,6 +174,10 @@ class MainTlb:
             self._sets[index] = kept
         self.stats.flushes += 1
         self.stats.entries_flushed += flushed
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(EventType.TLB_FLUSH, cause="flush-asid",
+                        value=flushed)
         return flushed
 
     def flush_va(self, vpn: int) -> int:
@@ -177,6 +193,10 @@ class MainTlb:
             self._sets[index] = kept
         self.stats.flushes += 1
         self.stats.entries_flushed += flushed
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(EventType.TLB_FLUSH, vaddr=vpn << 12,
+                        cause="flush-va", value=flushed)
         return flushed
 
     # -- introspection --------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.common.errors import SimulationError
 from repro.common.events import AccessEvent, AccessType
 from repro.hw.mmu import Mmu
 from repro.kernel.task import Task
+from repro.trace import EventType
 
 #: Instructions per 32-byte cache line (4-byte ARM instructions).
 INSTRUCTIONS_PER_LINE = CACHE_LINE_SIZE // 4
@@ -113,6 +114,10 @@ class ExecutionEngine:
                                     result.translation_stall)
             if result.ok:
                 return result.entry
+            tracer = self._kernel.tracer
+            if tracer.enabled:
+                tracer.emit(EventType.PAGE_FAULT, pid=task.pid,
+                            vaddr=event.vaddr, cause=result.fault.value)
             outcome = self._kernel.fault_handler.handle(
                 core, task, event.vaddr, event.access, result.fault
             )

@@ -25,6 +25,7 @@ from repro.common.errors import SimulationError
 from repro.hw.memory import FrameKind
 from repro.hw.mmu import AccessType, FaultKind
 from repro.hw.pagetable import Pte
+from repro.trace import EventType
 
 
 class SegmentationFault(SimulationError):
@@ -119,6 +120,10 @@ class FaultHandler:
             # Another sharer populated this PTE since the access faulted;
             # nothing to do (the retry will hit).
             counters.bump("soft_faults")
+            tracer = kernel.tracer
+            if tracer.enabled:
+                tracer.emit(EventType.SOFT_FAULT, pid=task.pid,
+                            vaddr=vaddr, cause="already-populated")
             return outcome
 
         if vma.is_file_backed:
@@ -147,6 +152,10 @@ class FaultHandler:
             # copy into a fresh anonymous frame).
             if not cold:
                 counters.bump("cow_faults")
+                tracer = kernel.tracer
+                if tracer.enabled:
+                    tracer.emit(EventType.COW_UNSHARE, pid=task.pid,
+                                vaddr=vaddr, cause="private-write")
             outcome.overhead_cycles += kernel.cost.cow_fault_extra
             anon = kernel.memory.allocate(FrameKind.ANON)
             self._assert_private(slot, writable=True)
@@ -156,6 +165,10 @@ class FaultHandler:
             return
         if not cold:
             counters.bump("soft_faults")
+            tracer = kernel.tracer
+            if tracer.enabled:
+                tracer.emit(EventType.SOFT_FAULT, pid=task.pid,
+                            vaddr=vaddr, cause="warm-file")
         writable = vma.prot.writable and vma.flags.is_shared and (
             access is AccessType.STORE
         )
@@ -193,6 +206,10 @@ class FaultHandler:
             outcome.overhead_cycles += kernel.cost.cold_fault_extra
         else:
             counters.bump("soft_faults")
+            tracer = kernel.tracer
+            if tracer.enabled:
+                tracer.emit(EventType.SOFT_FAULT, pid=task.pid,
+                            vaddr=vaddr, cause="warm-large-page")
         base_index = index & ~0xF
         global_ = kernel.tlbshare.pte_global_bit(task, vma)
         for offset, frame in enumerate(frames):
@@ -277,6 +294,10 @@ class FaultHandler:
         )
         if needs_cow:
             counters.bump("cow_faults")
+            tracer = kernel.tracer
+            if tracer.enabled:
+                tracer.emit(EventType.COW_UNSHARE, pid=task.pid,
+                            vaddr=vaddr, cause="cow-break")
             outcome.overhead_cycles += cost.cow_fault_extra
             self._replace_pte(slot, index, vma)
             if vma.is_file_backed:
@@ -315,6 +336,9 @@ class FaultHandler:
         kernel = self._kernel
         counters = kernel.counter_scope(task)
         counters.bump("domain_faults")
+        tracer = kernel.tracer
+        if tracer.enabled:
+            tracer.emit(EventType.DOMAIN_FAULT, pid=task.pid, vaddr=vaddr)
         # Flush every TLB entry matching the faulting address on the
         # faulting processor; the retried access misses and walks the
         # process's own page tables (Section 3.2.3).

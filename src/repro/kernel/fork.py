@@ -24,6 +24,7 @@ from repro.common.constants import ptp_index
 from repro.hw.pagetable import Pte
 from repro.kernel.config import ForkPolicy
 from repro.kernel.task import Task
+from repro.trace import EventType
 
 
 @dataclass
@@ -50,6 +51,10 @@ def do_fork(kernel, parent: Task, name: str) -> "tuple[Task, ForkReport]":
     kernel.tlbshare.on_fork(parent, child)
     counters = kernel.counter_scope(child)
     kernel.counter_scope(parent).bump("forks")
+    tracer = kernel.tracer
+    if tracer.enabled:
+        tracer.emit(EventType.FORK, pid=parent.pid,
+                    cause=config.fork_policy.value, value=child.pid)
 
     # Clone the VMA list (the child sees the same regions; COW semantics
     # are enforced through PTE write protection below).

@@ -28,18 +28,29 @@ from repro.kernel.syscalls import SyscallInterface
 from repro.kernel.task import Task, TaskState
 from repro.core.ptshare import PageTableManager
 from repro.core.tlbshare import TlbSharePolicy
+from repro.trace import NULL_TRACER
 
 
 class Kernel:
     """One simulated kernel instance managing one platform."""
 
     def __init__(self, platform: Optional[Platform] = None,
-                 config: Optional[KernelConfig] = None) -> None:
+                 config: Optional[KernelConfig] = None,
+                 tracer=None) -> None:
         self.platform = platform or Platform()
         self.config = config or KernelConfig()
         self.config.validate()
         self.cost = self.platform.cost
         self.memory = self.platform.memory
+
+        #: Structured event tracing.  The tracer is a *runtime* wiring
+        #: concern, deliberately not a ``KernelConfig`` field: config
+        #: stays pure JSON (it feeds the orchestrator's cache digests).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(self.sim_time)
+        self.platform.mmu.tracer = self.tracer
+        for core in self.platform.cores:
+            core.main_tlb.tracer = self.tracer
 
         self.counters = Counters()
         self.page_cache = PageCache(self.memory)
@@ -53,6 +64,7 @@ class Kernel:
             self.memory, self.cost, self.config,
             tlb_flush_task=self.flush_task_tlbs,
             tlb_flush_all=self.platform.flush_all_tlbs,
+            tracer=self.tracer,
         )
         self.fault_handler = FaultHandler(self)
         self.syscalls = SyscallInterface(self)
@@ -183,6 +195,18 @@ class Kernel:
         """Drop one task's TLB entries on every core."""
         for core in self.platform.cores:
             core.flush_tlb_asid(task.asid)
+
+    # ------------------------------------------------------------------
+    # Simulated time.
+    # ------------------------------------------------------------------
+
+    def sim_time(self) -> float:
+        """Total cycles accumulated across cores (the trace clock).
+
+        Cores advance independently, so the sum is a monotonically
+        non-decreasing global timeline suitable for stamping events.
+        """
+        return sum(core.stats.total_cycles for core in self.platform.cores)
 
     # ------------------------------------------------------------------
     # Accounting.

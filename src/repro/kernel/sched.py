@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.kernel.task import Task, TaskState
+from repro.trace import EventType
 
 
 @dataclass
@@ -73,6 +74,11 @@ class Scheduler:
         core.current_task = task
         task.state = TaskState.RUNNING
         kernel.counter_scope(task).bump("context_switches")
+        tracer = kernel.tracer
+        if tracer.enabled:
+            tracer.emit(EventType.CTX_SWITCH, pid=task.pid,
+                        cause=f"core{core.core_id}",
+                        value=report.main_tlb_flushed)
         # The incoming task bears the switch cost (it is the context the
         # paper's per-process PMU windows attribute it to).
         task.stats.charge("context_switch_cycles", report.cycles)

@@ -42,9 +42,13 @@ def canonicalize(payload: Any) -> Any:
     """One JSON round trip: tuples become lists, keys become strings.
 
     Applied to every cell payload so cache hits and fresh runs hand the
-    merge step structurally identical values.
+    merge step structurally identical values.  Keys are sorted because
+    cache artifacts are stored with ``sort_keys=True``: a replayed
+    payload has sorted dict order, so a fresh payload must too, or
+    exports that serialise payload dicts verbatim would differ
+    byte-wise between cold and warm runs.
     """
-    return json.loads(json.dumps(payload))
+    return json.loads(json.dumps(payload, sort_keys=True))
 
 
 def jsonable(value: Any) -> Any:

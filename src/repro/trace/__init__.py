@@ -1,0 +1,47 @@
+"""Structured kernel-event tracing.
+
+The trace subsystem gives the simulator the per-event timelines the
+paper plots: every hot path (fault handling, fork, PTP share/unshare,
+TLB fill/flush, context switch) emits a typed :class:`TraceEvent` into
+a bounded ring buffer when tracing is enabled.  The default tracer is a
+:class:`NullTracer` whose ``enabled`` flag is ``False``, so disabled
+tracing costs exactly one attribute check on hot paths.
+
+Layering: this package imports only the standard library, so the ``hw``
+and ``core`` layers may hold a tracer reference without creating import
+cycles.
+"""
+
+from repro.trace.events import EventType, TraceEvent
+from repro.trace.tracer import DEFAULT_RING_SIZE, NULL_TRACER, NullTracer, Tracer
+from repro.trace.export import (
+    chrome_trace_dict,
+    parse_chrome,
+    read_jsonl,
+    write_chrome,
+    write_jsonl,
+)
+from repro.trace.aggregate import (
+    counts_by_type,
+    fault_timelines,
+    time_histogram,
+    top_unshare_offenders,
+)
+
+__all__ = [
+    "EventType",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "DEFAULT_RING_SIZE",
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace_dict",
+    "write_chrome",
+    "parse_chrome",
+    "counts_by_type",
+    "fault_timelines",
+    "time_histogram",
+    "top_unshare_offenders",
+]

@@ -1,0 +1,115 @@
+"""Trace aggregation: counts, histograms, timelines, unshare offenders.
+
+These reductions reproduce the paper's analysis views from a raw event
+stream: per-type counts (checked against the kernel's software
+counters), per-process fault timelines, time-bucketed histograms, and
+the "which PTPs keep getting unshared" report behind the code-vs-data
+unsharing discussion that motivates the 2MB library layout (§5).
+"""
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.trace.events import EventType, TraceEvent
+
+#: The fault-like event types a timeline reports.
+FAULT_TYPES = (
+    EventType.PAGE_FAULT,
+    EventType.SOFT_FAULT,
+    EventType.COW_UNSHARE,
+    EventType.DOMAIN_FAULT,
+)
+
+#: Address-space geography of the simulated Android layout: PTP slots
+#: below the Java heap hold file/code mappings, slots at the top of
+#: user space hold stacks, everything between is anonymous data.
+_ANON_BASE_VA = 0x9000_0000
+_STACK_BASE_VA = 0xBE00_0000
+
+
+def ptp_region(slot_index: int) -> str:
+    """Classify a level-1 slot by the region its 2MB range covers."""
+    base_va = slot_index << 21
+    if base_va < _ANON_BASE_VA:
+        return "code/file"
+    if base_va >= _STACK_BASE_VA:
+        return "stack"
+    return "anon"
+
+
+def counts_by_type(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """Per-type event counts (over retained events only)."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        key = event.etype.value
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def fault_timelines(
+    events: Iterable[TraceEvent],
+    types: Sequence[EventType] = FAULT_TYPES,
+) -> Dict[int, List[Dict[str, Any]]]:
+    """Per-process fault timelines: pid -> time-ordered fault records."""
+    wanted = set(types)
+    timelines: Dict[int, List[Dict[str, Any]]] = {}
+    for event in events:
+        if event.etype not in wanted:
+            continue
+        entry: Dict[str, Any] = {"time": event.time,
+                                 "etype": event.etype.value}
+        if event.vaddr is not None:
+            entry["vaddr"] = event.vaddr
+        if event.cause is not None:
+            entry["cause"] = event.cause
+        timelines.setdefault(event.pid, []).append(entry)
+    for timeline in timelines.values():
+        timeline.sort(key=lambda e: e["time"])
+    return timelines
+
+
+def time_histogram(events: Iterable[TraceEvent],
+                   etype: Optional[EventType] = None,
+                   buckets: int = 20) -> Dict[str, Any]:
+    """Bucket events (optionally one type) over the traced time span."""
+    if buckets < 1:
+        raise ValueError(f"buckets must be >= 1, got {buckets}")
+    selected = [e for e in events if etype is None or e.etype is etype]
+    if not selected:
+        return {"start": 0.0, "end": 0.0, "bucket_width": 0.0,
+                "counts": [0] * buckets}
+    start = min(e.time for e in selected)
+    end = max(e.time for e in selected)
+    width = (end - start) / buckets if end > start else 1.0
+    counts = [0] * buckets
+    for event in selected:
+        index = min(int((event.time - start) / width), buckets - 1)
+        counts[index] += 1
+    return {"start": start, "end": end, "bucket_width": width,
+            "counts": counts}
+
+
+def top_unshare_offenders(events: Iterable[TraceEvent],
+                          top_n: int = 10) -> List[Dict[str, Any]]:
+    """The PTPs unshared most often, with their region classification.
+
+    Groups PTP_UNSHARE events by slot index and reports count, the
+    trigger breakdown, and whether the slot covers code/file, anonymous
+    data, or stack — the paper's code-vs-data unsharing analysis.
+    """
+    per_slot: Dict[int, Dict[str, Any]] = {}
+    for event in events:
+        if event.etype is not EventType.PTP_UNSHARE or event.ptp is None:
+            continue
+        slot = per_slot.setdefault(event.ptp, {
+            "ptp": event.ptp,
+            "base_va": event.ptp << 21,
+            "region": ptp_region(event.ptp),
+            "unshares": 0,
+            "triggers": {},
+        })
+        slot["unshares"] += 1
+        cause = event.cause or "unknown"
+        slot["triggers"][cause] = slot["triggers"].get(cause, 0) + 1
+    ranked = sorted(per_slot.values(),
+                    key=lambda s: (-s["unshares"], s["ptp"]))
+    return ranked[:top_n]

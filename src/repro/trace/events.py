@@ -1,0 +1,128 @@
+"""Typed, slotted trace-event records.
+
+Each :class:`TraceEvent` is one kernel/hardware occurrence, stamped
+with simulated time (cycles) and a monotonically increasing sequence
+number.  Events deliberately pair one-to-one with the software counters
+of :mod:`repro.kernel.counters` where a counter exists (SOFT_FAULT with
+``soft_faults``, COW_UNSHARE with ``cow_faults``, PTP_SHARE with
+``ptp_share_events``, ...), so a trace's per-type counts can be checked
+against a run's counter deltas.
+
+``TraceEvent`` uses ``__slots__`` (written out by hand: ``@dataclass
+(slots=True)`` needs Python 3.10 and this package supports 3.9) so a
+262144-entry ring stays tens of megabytes, not hundreds.
+"""
+
+import enum
+from typing import Any, Dict, Optional
+
+
+class EventType(enum.Enum):
+    """The event taxonomy; values are the stable wire names."""
+
+    #: Any MMU fault handled by the kernel (cause = fault kind).
+    PAGE_FAULT = "page_fault"
+    #: A fault resolved without I/O: the frame was already resident.
+    SOFT_FAULT = "soft_fault"
+    #: A copy-on-write break: a private page got its own frame.
+    COW_UNSHARE = "cow_unshare"
+    #: A level-1 slot was pointed at another space's PTP (fork).
+    PTP_SHARE = "ptp_share"
+    #: A shared PTP was made private (cause = the paper's trigger).
+    PTP_UNSHARE = "ptp_unshare"
+    #: A hardware walk filled the main TLB.
+    TLB_FILL = "tlb_fill"
+    #: A main-TLB flush operation (cause = which one; value = entries).
+    TLB_FLUSH = "tlb_flush"
+    #: A non-zygote process hit a global entry in the zygote domain.
+    DOMAIN_FAULT = "domain_fault"
+    #: A process was forked (value = child pid).
+    FORK = "fork"
+    #: A context switch onto a core (value = main-TLB entries flushed).
+    CTX_SWITCH = "ctx_switch"
+
+
+#: Fast lookup for deserialisation.
+_BY_VALUE = {etype.value: etype for etype in EventType}
+
+
+class TraceEvent:
+    """One trace record.
+
+    ``pid`` is ``-1`` for events with no acting task (e.g. TLB flushes
+    issued during cross-core shootdowns).  ``vaddr``/``ptp`` are
+    ``None`` when not applicable; ``ptp`` is a level-1 slot index (the
+    PTP's identity: ``base_va = slot << 21``).
+    """
+
+    __slots__ = ("seq", "time", "etype", "pid", "vaddr", "ptp", "cause",
+                 "value")
+
+    def __init__(self, seq: int, time: float, etype: EventType,
+                 pid: int = -1, vaddr: Optional[int] = None,
+                 ptp: Optional[int] = None, cause: Optional[str] = None,
+                 value: Optional[int] = None) -> None:
+        self.seq = seq
+        self.time = time
+        self.etype = etype
+        self.pid = pid
+        self.vaddr = vaddr
+        self.ptp = ptp
+        self.cause = cause
+        self.value = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict (the JSONL line / cell-payload form)."""
+        record: Dict[str, Any] = {
+            "seq": self.seq,
+            "time": self.time,
+            "etype": self.etype.value,
+            "pid": self.pid,
+        }
+        if self.vaddr is not None:
+            record["vaddr"] = self.vaddr
+        if self.ptp is not None:
+            record["ptp"] = self.ptp
+        if self.cause is not None:
+            record["cause"] = self.cause
+        if self.value is not None:
+            record["value"] = self.value
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TraceEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            seq=record["seq"],
+            time=record["time"],
+            etype=_BY_VALUE[record["etype"]],
+            pid=record.get("pid", -1),
+            vaddr=record.get("vaddr"),
+            ptp=record.get("ptp"),
+            cause=record.get("cause"),
+            value=record.get("value"),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self.__slots__
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seq, self.etype, self.pid))
+
+    def __repr__(self) -> str:
+        parts = [f"seq={self.seq}", f"t={self.time:.0f}",
+                 self.etype.value, f"pid={self.pid}"]
+        if self.vaddr is not None:
+            parts.append(f"va={self.vaddr:#x}")
+        if self.ptp is not None:
+            parts.append(f"ptp={self.ptp}")
+        if self.cause is not None:
+            parts.append(self.cause)
+        if self.value is not None:
+            parts.append(f"value={self.value}")
+        return f"TraceEvent({' '.join(parts)})"

@@ -1,0 +1,141 @@
+"""Trace writers/readers: JSONL and Chrome trace-event (Perfetto) format.
+
+JSONL is the lossless machine format — one :meth:`TraceEvent.to_dict`
+object per line.  The Chrome format targets ``ui.perfetto.dev`` / ``
+chrome://tracing``: each trace *cell* (one simulated kernel) becomes a
+Perfetto process and each simulated task a thread, with every event an
+instant ("i"-phase) marker at its simulated-cycle timestamp.  The full
+original record rides along in ``args``, so :func:`parse_chrome` can
+reconstruct the exact events and the formats round-trip.
+"""
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.trace.events import TraceEvent
+
+#: (cell label, that cell's events) — the unit the exporters take, so
+#: multi-cell traces keep their per-kernel identity in Perfetto.
+NamedEvents = Tuple[str, List[TraceEvent]]
+
+
+# ---------------------------------------------------------------------------
+# JSONL.
+# ---------------------------------------------------------------------------
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Write one JSON object per event; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Read a :func:`write_jsonl` file back into events."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format.
+# ---------------------------------------------------------------------------
+
+def chrome_trace_dict(
+    cells: Sequence[NamedEvents],
+    other_data: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for one or more cells.
+
+    Timestamps are simulated cycles reported as microseconds (the unit
+    Perfetto expects); absolute magnitudes are arbitrary but ordering
+    and spacing are faithful.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for cell_index, (label, events) in enumerate(cells):
+        chrome_pid = cell_index + 1
+        trace_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": chrome_pid,
+            "tid": 0,
+            "args": {"name": label},
+        })
+        seen_tids = set()
+        for event in events:
+            tid = event.pid if event.pid >= 0 else 0
+            if tid not in seen_tids:
+                seen_tids.add(tid)
+                trace_events.append({
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": chrome_pid,
+                    "tid": tid,
+                    "args": {
+                        "name": f"pid {event.pid}" if event.pid >= 0
+                        else "kernel",
+                    },
+                })
+            trace_events.append({
+                "name": event.etype.value,
+                "ph": "i",
+                "s": "t",
+                "ts": event.time,
+                "pid": chrome_pid,
+                "tid": tid,
+                "args": event.to_dict(),
+            })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": other_data or {},
+    }
+
+
+def write_chrome(cells: Sequence[NamedEvents], path: str,
+                 other_data: Optional[Dict[str, Any]] = None) -> int:
+    """Write a Perfetto-loadable trace; returns the event count."""
+    trace = chrome_trace_dict(cells, other_data=other_data)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+    return sum(1 for e in trace["traceEvents"] if e["ph"] == "i")
+
+
+def parse_chrome(source: Any) -> Tuple[List[NamedEvents], Dict[str, Any]]:
+    """Reconstruct ``(cells, otherData)`` from a Chrome trace.
+
+    ``source`` is a path or an already-loaded trace dict.  Only events
+    this module wrote (instant markers carrying the original record in
+    ``args``) are reconstructed; metadata events supply the labels.
+    """
+    if isinstance(source, dict):
+        trace = source
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    labels: Dict[int, str] = {}
+    per_pid: Dict[int, List[TraceEvent]] = {}
+    for record in trace["traceEvents"]:
+        chrome_pid = record["pid"]
+        if record.get("ph") == "M":
+            if record.get("name") == "process_name":
+                labels[chrome_pid] = record["args"]["name"]
+            continue
+        if record.get("ph") != "i":
+            continue
+        per_pid.setdefault(chrome_pid, []).append(
+            TraceEvent.from_dict(record["args"])
+        )
+    cells = [
+        (labels.get(chrome_pid, f"cell-{chrome_pid}"), events)
+        for chrome_pid, events in sorted(per_pid.items())
+    ]
+    return cells, trace.get("otherData", {})

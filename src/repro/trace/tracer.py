@@ -1,0 +1,143 @@
+"""The ring-buffer tracer and its zero-cost disabled counterpart.
+
+Hot paths hold a ``tracer`` attribute and guard every emission with::
+
+    tracer = kernel.tracer
+    if tracer.enabled:
+        tracer.emit(EventType.SOFT_FAULT, pid=task.pid, vaddr=vaddr)
+
+``NullTracer.enabled`` is a class attribute set to ``False``, so the
+disabled path costs one attribute load and one branch — no call, no
+allocation.  The tests pin this down structurally (a counting
+``NullTracer`` subclass observes zero ``emit`` calls) and with a wall-
+clock guard.
+
+Ring semantics: the buffer holds the most recent ``ring_size`` events;
+older events are dropped, but **per-type counts are maintained at emit
+time**, so ``counts`` (and the counter-agreement check built on it) are
+immune to drops.
+"""
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.trace.events import EventType, TraceEvent
+
+#: Large enough that quick-scale runs never drop; ~50MB worst case.
+DEFAULT_RING_SIZE = 262144
+
+
+class Tracer:
+    """A bounded ring-buffer trace recorder."""
+
+    enabled = True
+
+    def __init__(self, ring_size: int = DEFAULT_RING_SIZE,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self.ring_size = ring_size
+        self._ring: "deque[TraceEvent]" = deque(maxlen=ring_size)
+        self._clock = clock
+        self._seq = 0
+        #: Per-type event counts, keyed by ``EventType.value``; updated
+        #: at emit time so ring drops never skew them.
+        self.counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulated-time source (the kernel does this)."""
+        self._clock = clock
+
+    def emit(self, etype: EventType, pid: int = -1,
+             vaddr: Optional[int] = None, ptp: Optional[int] = None,
+             cause: Optional[str] = None,
+             value: Optional[int] = None) -> None:
+        """Record one event (callers must check ``enabled`` first)."""
+        seq = self._seq
+        self._seq = seq + 1
+        time = self._clock() if self._clock is not None else float(seq)
+        self._ring.append(TraceEvent(seq, time, etype, pid, vaddr, ptp,
+                                     cause, value))
+        key = etype.value
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted over the tracer's lifetime."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring (emitted minus retained)."""
+        return self._seq - len(self._ring)
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe accounting: totals, drops, and per-type counts."""
+        return {
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "retained": len(self._ring),
+            "ring_size": self.ring_size,
+            "counts": dict(sorted(self.counts.items())),
+        }
+
+    def clear(self) -> None:
+        """Drop retained events and reset all accounting."""
+        self._ring.clear()
+        self._seq = 0
+        self.counts.clear()
+
+
+class NullTracer:
+    """The default, disabled tracer: hot paths see ``enabled == False``.
+
+    ``emit`` exists (as a no-op) so an unguarded call is still safe, but
+    instrumented code must branch on ``enabled`` — the overhead tests
+    enforce that ``emit`` is never reached when tracing is off.
+    """
+
+    enabled = False
+    ring_size = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """No-op; the null tracer keeps no time."""
+
+    def emit(self, etype: EventType, pid: int = -1,
+             vaddr: Optional[int] = None, ptp: Optional[int] = None,
+             cause: Optional[str] = None,
+             value: Optional[int] = None) -> None:
+        """No-op."""
+
+    @property
+    def emitted(self) -> int:
+        return 0
+
+    @property
+    def dropped(self) -> int:
+        return 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        return {}
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def summary(self) -> Dict[str, Any]:
+        return {"emitted": 0, "dropped": 0, "retained": 0, "ring_size": 0,
+                "counts": {}}
+
+    def clear(self) -> None:
+        """No-op."""
+
+
+#: Shared default instance: stateless, so one object serves everyone.
+NULL_TRACER = NullTracer()

@@ -17,11 +17,16 @@ class TestEventValidation:
         with pytest.raises(ValueError):
             AccessEvent(AccessType.IFETCH, 0, count=0)
 
-    def test_lines_clamped(self):
-        event = AccessEvent(AccessType.IFETCH, 0, count=1, lines=999)
-        assert event.lines == 128
-        event = AccessEvent(AccessType.IFETCH, 0, count=1, lines=0)
-        assert event.lines == 1
+    def test_lines_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            AccessEvent(AccessType.IFETCH, 0, count=1, lines=999)
+        with pytest.raises(ValueError):
+            AccessEvent(AccessType.IFETCH, 0, count=1, lines=0)
+
+    def test_lines_bounds_accepted(self):
+        assert AccessEvent(AccessType.IFETCH, 0, count=1, lines=1).lines == 1
+        assert AccessEvent(AccessType.IFETCH, 0, count=1,
+                           lines=128).lines == 128
 
     def test_helpers(self):
         assert ifetch(0x1000).access is AccessType.IFETCH

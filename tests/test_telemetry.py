@@ -1,0 +1,90 @@
+"""Orchestrator telemetry: hit/miss accounting and summary rendering."""
+
+from repro.orchestrate.telemetry import CellRecord, Telemetry
+
+
+def make_telemetry(progress=None) -> Telemetry:
+    """Telemetry pre-loaded with two misses and one cache hit."""
+    telemetry = Telemetry(progress=progress)
+    telemetry.record("exp/slow", "d1", 4.0, cached=False,
+                     position=1, total=3)
+    telemetry.record("exp/fast", "d2", 1.0, cached=False,
+                     position=2, total=3)
+    telemetry.record("exp/hit", "d3", 2.5, cached=True,
+                     position=3, total=3)
+    return telemetry
+
+
+class TestAccounting:
+    def test_hits_and_misses(self):
+        telemetry = make_telemetry()
+        assert telemetry.hits == 1
+        assert telemetry.misses == 2
+
+    def test_compute_counts_misses_only(self):
+        assert make_telemetry().compute_seconds == 5.0
+
+    def test_saved_counts_hits_only(self):
+        assert make_telemetry().saved_seconds == 2.5
+
+    def test_slowest_orders_fresh_cells_by_elapsed(self):
+        slowest = make_telemetry().slowest(5)
+        assert [r.name for r in slowest] == ["exp/slow", "exp/fast"]
+
+    def test_slowest_excludes_cache_hits(self):
+        names = {r.name for r in make_telemetry().slowest(5)}
+        assert "exp/hit" not in names
+
+    def test_slowest_respects_count(self):
+        slowest = make_telemetry().slowest(1)
+        assert [r.name for r in slowest] == ["exp/slow"]
+
+    def test_wall_clock_accumulates_across_batches(self):
+        telemetry = Telemetry()
+        for _ in range(2):
+            telemetry.batch_started()
+            telemetry.batch_finished()
+        assert telemetry.wall_seconds >= 0.0
+        assert len(telemetry.records) == 0
+
+
+class TestRendering:
+    def test_summary_mentions_all_buckets(self):
+        line = make_telemetry().summary()
+        assert "3 cells" in line
+        assert "1 cache hit" in line
+        assert "2 misses" in line
+        assert "compute 5.0s" in line
+        assert "saved ~2.5s" in line
+        assert "slowest exp/slow (4.0s)" in line
+
+    def test_summary_all_hits_omits_compute(self):
+        telemetry = Telemetry()
+        telemetry.record("exp/hit", "d1", 3.0, cached=True,
+                         position=1, total=1)
+        line = telemetry.summary()
+        assert "1 cache hit" in line
+        assert "compute" not in line
+        assert "saved ~3.0s" in line
+        assert "slowest" not in line
+
+    def test_summary_singular_plural(self):
+        telemetry = Telemetry()
+        telemetry.record("exp/only", "d1", 1.0, cached=False,
+                         position=1, total=1)
+        assert "1 cell," in telemetry.summary()
+
+    def test_progress_lines(self):
+        lines = []
+        make_telemetry(progress=lines.append)
+        assert lines == [
+            "[cell 1/3] exp/slow: 4.00s",
+            "[cell 2/3] exp/fast: 1.00s",
+            "[cell 3/3] exp/hit: cache hit",
+        ]
+
+    def test_no_progress_sink_is_silent(self):
+        telemetry = Telemetry()
+        telemetry.record("exp/x", "d", 0.1, cached=False,
+                         position=1, total=1)  # Must not raise.
+        assert telemetry.records == [CellRecord("exp/x", "d", 0.1, False)]
