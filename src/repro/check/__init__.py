@@ -1,0 +1,46 @@
+"""``repro.check``: the correctness subsystem behind ``satr check``.
+
+Two independent halves, both config-blind by construction:
+
+* :mod:`repro.check.invariants` — a runtime :class:`InvariantChecker`
+  swept at kernel step boundaries (refcounts, COW protection, TLB
+  coherence, domain confinement), wired like the tracer: a ``Kernel``
+  constructor argument, never a ``KernelConfig`` field.
+* :mod:`repro.check.semantic` — the differential oracle's state
+  extractor: the observable (fault-visible) address-space state of a
+  kernel, designed so two runs of one workload under different sharing
+  configurations compare equal exactly when sharing preserved
+  semantics.
+
+:mod:`repro.check.inject` holds the seeded protocol mutations that
+prove both halves have teeth.
+"""
+
+from repro.check.inject import (
+    apply_mutation,
+    describe_mutation,
+    mutation_names,
+)
+from repro.check.invariants import (
+    DEFAULT_RUN_GAP,
+    InvariantChecker,
+    InvariantViolation,
+    NULL_CHECKER,
+    NullChecker,
+    verify_kernel,
+)
+from repro.check.semantic import diff_states, semantic_state
+
+__all__ = [
+    "DEFAULT_RUN_GAP",
+    "InvariantChecker",
+    "InvariantViolation",
+    "NULL_CHECKER",
+    "NullChecker",
+    "apply_mutation",
+    "describe_mutation",
+    "diff_states",
+    "mutation_names",
+    "semantic_state",
+    "verify_kernel",
+]

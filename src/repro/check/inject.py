@@ -1,0 +1,164 @@
+"""Seeded protocol mutations: prove the checker has teeth.
+
+``satr check --inject NAME`` deliberately breaks exactly one step of
+the sharing protocol inside the *sharing* cell (the stock cell always
+runs clean — it is the oracle's reference), then requires the run to
+fail.  A mutation that no invariant sweep and no oracle diff catches is
+a hole in the checker, which is exactly what the mutation-kill test in
+``tests/test_check.py`` guards against.
+
+Each mutation monkey-patches one method for the duration of the
+:func:`apply_mutation` context (class-level, so it applies to the
+kernel built inside the context; the original is always restored).
+
+========================  ==================================================
+mutation                  protocol step broken / expected catcher
+========================  ==================================================
+``double-ref``            slot installation takes two PTP frame references
+                          (refcount invariant: mapcount != sharer slots)
+``skip-write-protect``    the share-time write-protect pass is skipped
+                          (COW invariant: writable PTE under NEED_COPY)
+``skip-need-copy``        slots are installed without the NEED_COPY mark
+                          (sharing invariant: shared PTP not marked)
+``leak-global``           every PTE gets the global bit (confinement
+                          invariant: global bit outside global VMAs /
+                          without TLB sharing)
+``writable-zero``         anonymous write faults map the shared zero frame
+                          writable instead of a fresh frame — the
+                          cross-process corruption analog; invisible to
+                          every refcount/permission invariant and caught
+                          only by the differential oracle
+========================  ==================================================
+"""
+
+import contextlib
+from typing import Callable, Dict, Optional
+
+#: name -> (description, mutator).  A mutator applies its patch and
+#: returns the undo callable.
+_REGISTRY: Dict[str, "tuple[str, Callable[[], Callable[[], None]]]"] = {}
+
+
+def _mutation(name: str, description: str):
+    def register(mutator):
+        _REGISTRY[name] = (description, mutator)
+        return mutator
+    return register
+
+
+def mutation_names() -> "list[str]":
+    """Registered mutation names (CLI choices), sorted."""
+    return sorted(_REGISTRY)
+
+
+def describe_mutation(name: str) -> str:
+    """One-line description of a mutation."""
+    return _REGISTRY[name][0]
+
+
+@contextlib.contextmanager
+def apply_mutation(name: Optional[str]):
+    """Apply one named mutation for the duration of the context.
+
+    ``None`` applies nothing, so call sites need no conditional.
+    """
+    if name is None:
+        yield
+        return
+    try:
+        _, mutator = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; known: {mutation_names()}"
+        ) from None
+    undo = mutator()
+    try:
+        yield
+    finally:
+        undo()
+
+
+# ---------------------------------------------------------------------------
+# The mutations.  Imports are local so this module can be imported
+# before (or without) the kernel package.
+# ---------------------------------------------------------------------------
+
+@_mutation("double-ref",
+           "slot installation takes two PTP frame references")
+def _double_ref():
+    from repro.hw.pagetable import AddressSpaceTables
+
+    original = AddressSpaceTables.install
+
+    def patched(self, index, ptp, need_copy=False, domain=None):
+        kwargs = {} if domain is None else {"domain": domain}
+        slot = original(self, index, ptp, need_copy=need_copy, **kwargs)
+        ptp.frame.get()  # The leak.
+        return slot
+
+    AddressSpaceTables.install = patched
+    return lambda: setattr(AddressSpaceTables, "install", original)
+
+
+@_mutation("skip-write-protect",
+           "the share-time write-protect pass writes nothing")
+def _skip_write_protect():
+    from repro.hw.pagetable import PageTablePage
+
+    original = PageTablePage.write_protect_all
+
+    def patched(self):
+        self.write_protected = True  # Claim the pass ran.
+        return 0
+
+    PageTablePage.write_protect_all = patched
+    return lambda: setattr(PageTablePage, "write_protect_all", original)
+
+
+@_mutation("skip-need-copy",
+           "slots are installed without the NEED_COPY mark")
+def _skip_need_copy():
+    from repro.hw.pagetable import AddressSpaceTables
+
+    original = AddressSpaceTables.install
+
+    def patched(self, index, ptp, need_copy=False, domain=None):
+        kwargs = {} if domain is None else {"domain": domain}
+        return original(self, index, ptp, need_copy=False, **kwargs)
+
+    AddressSpaceTables.install = patched
+    return lambda: setattr(AddressSpaceTables, "install", original)
+
+
+@_mutation("leak-global",
+           "every file PTE gets the global bit regardless of policy")
+def _leak_global():
+    from repro.core.tlbshare import TlbSharePolicy
+
+    original = TlbSharePolicy.pte_global_bit
+
+    def patched(self, task, vma):
+        return True
+
+    TlbSharePolicy.pte_global_bit = patched
+    return lambda: setattr(TlbSharePolicy, "pte_global_bit", original)
+
+
+@_mutation("writable-zero",
+           "anonymous write faults map the zero frame writable "
+           "(skips the fresh-frame allocation)")
+def _writable_zero():
+    from repro.common.events import AccessType
+    from repro.kernel.fault import FaultHandler
+
+    original = FaultHandler._populate_anon_pte
+
+    def patched(self, task, vma, access, slot, index, counters):
+        kernel = self._kernel
+        counters.bump("anon_faults")
+        writable = access is AccessType.STORE
+        kernel.install_pte(slot.ptp, index, kernel.zero_frame,
+                           writable=writable)
+
+    FaultHandler._populate_anon_pte = patched
+    return lambda: setattr(FaultHandler, "_populate_anon_pte", original)

@@ -1,0 +1,159 @@
+"""Semantic address-space state (the differential oracle's half).
+
+The oracle's claim, straight from the paper: a process whose page-table
+pages are shared must be *observationally identical* to a stock process
+with private tables.  "Observational" means what loads, stores and
+fetches can see — never how translations are cached, how many faults it
+took, or which physical frames were picked.  This module extracts
+exactly that state from a kernel so two differently-configured runs of
+the same workload can be compared:
+
+* **Regions**: per task, the VMA list with its fault-visible
+  permissions (``prot``), mapping flags, and backing file identity.
+  Mechanism bits (the global-entry mark, large-page policy, the
+  zygote-preload tag) are excluded — they legitimately differ between
+  configurations without changing what a load can observe.
+* **Pages**: per task, every virtual page whose content *differs from
+  what a fresh fault would produce*.  An untouched page, a page mapping
+  the shared zero frame, and a file page mapping its own page-cache
+  frame all resolve to the same bytes whether or not a PTE happens to
+  be present — and PTE presence is exactly where stock and shared runs
+  legitimately diverge (stock fork skips file-backed PTEs and refaults;
+  shared PTPs make one sharer's fills visible to all).  Recording only
+  the non-default resolutions makes those divergences invisible *by
+  construction* while still catching every semantic difference:
+  anonymous memory is captured as a canonical aliasing partition
+  (first-seen labels over a deterministic traversal, so "which pages
+  share a frame" is compared, not frame numbers), and a file page
+  mapped to the *wrong* page-cache frame shows up as an explicit
+  anomaly.
+* **Pagecache**: the set of resident ``(file_id, page)`` keys — which
+  pages have been read in, not which frames hold them.
+
+Frame numbers never appear in the state, so cost/counter/placement
+differences cannot produce a diff.
+"""
+
+from typing import Any, Dict, List
+
+from repro.common.constants import PAGE_SHIFT
+from repro.hw.memory import FrameKind
+from repro.hw.pagetable import Pte
+
+
+def semantic_state(kernel) -> Dict[str, Any]:
+    """Extract the observable state of every live task (JSON-safe)."""
+    anon_labels: Dict[int, int] = {}
+    tasks: Dict[str, Any] = {}
+    for task in sorted(kernel.live_tasks(), key=lambda t: t.pid):
+        vmas: List[List[Any]] = []
+        for vma in task.mm.vmas():
+            vmas.append([
+                vma.start,
+                vma.end,
+                int(vma.prot),
+                int(vma.flags),
+                vma.file.name if vma.file is not None else None,
+                vma.file.file_id if vma.file is not None else None,
+                vma.file_page_offset,
+            ])
+        pages: List[List[Any]] = []
+        for slot_index, slot in task.mm.tables.populated_slots():
+            base_va = task.mm.tables.slot_base_va(slot_index)
+            for index, pte in slot.ptp.iter_valid():
+                va = base_va + (index << PAGE_SHIFT)
+                entry = _classify(kernel, task, anon_labels, va, pte)
+                if entry is not None:
+                    pages.append([va] + entry)
+        tasks[f"{task.pid}:{task.name}"] = {"vmas": vmas, "pages": pages}
+    return {
+        "tasks": tasks,
+        "pagecache": [list(key) for key in kernel.page_cache.contents()],
+    }
+
+
+def _classify(kernel, task, anon_labels: Dict[int, int], va: int,
+              pte: int) -> "List[Any] | None":
+    """One page's resolution; ``None`` when it is the fault default."""
+    frame = kernel.memory.frame(Pte.pfn(pte))
+    vma = task.mm.find_vma(va)
+    if vma is None:
+        return ["anomaly", "pte-outside-vma"]
+    if frame is kernel.zero_frame:
+        # Reads see zeros, exactly what a fresh anonymous fault gives.
+        if vma.file is None:
+            return None
+        return ["anomaly", "zero-frame-in-file-vma"]
+    if frame.kind is FrameKind.FILE:
+        if vma.file is not None and frame.file_key == (
+                vma.file.file_id, vma.file_page_of(va)):
+            return None  # The page a fresh fault would map.
+        return ["file", list(frame.file_key)]
+    if frame.kind is FrameKind.ANON:
+        label = anon_labels.setdefault(frame.pfn, len(anon_labels))
+        return ["anon", label]
+    return ["anomaly", f"{frame.kind.name.lower()}-frame-mapped"]
+
+
+def diff_states(state_a: Dict[str, Any], state_b: Dict[str, Any],
+                label_a: str = "a", label_b: str = "b",
+                limit: int = 20) -> List[str]:
+    """Human-readable differences between two semantic states.
+
+    Empty list means the states are observationally identical.  Output
+    is truncated to ``limit`` lines (with a trailing count) so one
+    systematic divergence cannot flood a report.
+    """
+    diffs: List[str] = []
+
+    cache_a = [tuple(k) for k in state_a["pagecache"]]
+    cache_b = [tuple(k) for k in state_b["pagecache"]]
+    if cache_a != cache_b:
+        only_a = sorted(set(cache_a) - set(cache_b))
+        only_b = sorted(set(cache_b) - set(cache_a))
+        diffs.append(
+            f"pagecache: {len(only_a)} pages only in {label_a} "
+            f"{only_a[:4]}, {len(only_b)} only in {label_b} {only_b[:4]}"
+        )
+
+    tasks_a, tasks_b = state_a["tasks"], state_b["tasks"]
+    for key in sorted(set(tasks_a) | set(tasks_b)):
+        if key not in tasks_a:
+            diffs.append(f"task {key}: only in {label_b}")
+            continue
+        if key not in tasks_b:
+            diffs.append(f"task {key}: only in {label_a}")
+            continue
+        diffs.extend(
+            _diff_task(key, tasks_a[key], tasks_b[key], label_a, label_b)
+        )
+
+    if len(diffs) > limit:
+        extra = len(diffs) - limit
+        diffs = diffs[:limit] + [f"... and {extra} more differences"]
+    return diffs
+
+
+def _diff_task(key: str, task_a: Dict[str, Any], task_b: Dict[str, Any],
+               label_a: str, label_b: str) -> List[str]:
+    diffs: List[str] = []
+    vmas_a = [tuple(v) for v in task_a["vmas"]]
+    vmas_b = [tuple(v) for v in task_b["vmas"]]
+    if vmas_a != vmas_b:
+        for vma in sorted(set(vmas_a) ^ set(vmas_b)):
+            side = label_a if vma in set(vmas_a) else label_b
+            diffs.append(
+                f"task {key}: VMA [{vma[0]:#x}, {vma[1]:#x}) "
+                f"(prot={vma[2]}, file={vma[4]}) only in {side}"
+            )
+    pages_a = {page[0]: page[1:] for page in task_a["pages"]}
+    pages_b = {page[0]: page[1:] for page in task_b["pages"]}
+    for va in sorted(set(pages_a) | set(pages_b)):
+        res_a = pages_a.get(va, ["default"])
+        res_b = pages_b.get(va, ["default"])
+        if res_a != res_b:
+            diffs.append(
+                f"task {key}: page {va:#x} resolves to {res_a} in "
+                f"{label_a} but {res_b} in {label_b}"
+            )
+    return diffs

@@ -111,15 +111,21 @@ class PageTableManager:
         if slot is None or slot.ptp is None:
             raise SimulationError(f"release of empty slot {slot_index}")
         ptp = slot.ptp
-        if slot.need_copy and ptp.sharer_count > 1:
-            task.mm.tables.detach(slot_index)
+        if slot.need_copy:
+            # Figure 6, case 5: exit is an unshare trigger whether or not
+            # other sharers remain.  The last sharer "privatizes" by
+            # clearing NEED_COPY before the slot is reclaimed, so counter
+            # and trace semantics are uniform across both exit orders.
             counters.record_unshare("exit")
             tracer = self.tracer
             if tracer.enabled:
                 tracer.emit(EventType.PTP_UNSHARE, pid=task.pid,
                             ptp=slot_index, cause="exit",
                             value=ptp.sharer_count)
-            return
+            if ptp.sharer_count > 1:
+                task.mm.tables.detach(slot_index)
+                return
+            slot.need_copy = False
         # Sole owner: reclaim fully.
         free_frames(ptp)
         task.mm.tables.detach(slot_index)
@@ -275,8 +281,12 @@ class PageTableManager:
         may span multiple PTPs (Section 3.1.2, case 2).  Returns the
         number of slots unshared.
         """
+        if end <= start:
+            # Zero-length syscall ranges touch no pages and must unshare
+            # nothing (the slot containing ``start`` is not affected).
+            return 0
         first = task.mm.tables.slot_index(start)
-        last = task.mm.tables.slot_index(max(start, end - 1))
+        last = task.mm.tables.slot_index(end - 1)
         unshared = 0
         for slot_index in range(first, last + 1):
             slot = task.mm.tables.slot(slot_index)

@@ -1,0 +1,308 @@
+"""``satr check``: differential oracle + invariant sweeps per workload.
+
+Each check *target* (fork / launch / steady / ipc) runs one
+representative workload twice — once under the sharing configuration
+the paper proposes for that workload, once on the stock-fork kernel —
+with the runtime :class:`~repro.check.InvariantChecker` attached to
+both.  Snapshots of the observable address-space state
+(:func:`~repro.check.semantic_state`) are taken at the same workload
+points in both cells; the merge step compares them pairwise
+(:func:`~repro.check.diff_states`).  The verdict fails on any invariant
+violation in either cell or any snapshot divergence between them —
+which is precisely the paper's correctness claim: sharing translations
+must be observationally invisible.
+
+``--inject NAME`` applies one seeded protocol mutation
+(:mod:`repro.check.inject`) to the *sharing* cell only; the stock cell
+stays clean so the oracle keeps an honest reference.  An injected run
+must fail — that is how the checker proves it has teeth.
+
+Cells are routed through :mod:`repro.orchestrate` like every other
+experiment: serial, ``--jobs N`` and cache-replayed runs produce
+byte-identical payloads, and the injected-mutation name is part of the
+cell parameters so mutated results can never satisfy a clean cache key.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.android.binder import BinderBenchmark, BinderConfig
+from repro.android.layout import LayoutMode
+from repro.check import InvariantChecker, apply_mutation, diff_states, semantic_state
+from repro.common.errors import SimulationError
+from repro.common.rng import DeterministicRng
+from repro.experiments.common import (
+    DEFAULT,
+    DEFAULT_SEED,
+    Scale,
+    build_runtime,
+    format_table,
+    scale_from_params,
+    scale_to_params,
+)
+from repro.orchestrate import Cell, Orchestrator, kernel_config_fields
+from repro.workloads.profiles import APP_PROFILES, HELLOWORLD
+from repro.workloads.session import launch_app, run_steady_state
+
+#: Per-target cell axes: (sharing config, stock reference config).  The
+#: sharing side uses the configuration the paper proposes for that
+#: workload (TLB sharing where the workload exercises it).
+CHECK_CONFIGS: Dict[str, Tuple[str, str]] = {
+    "fork": ("shared-ptp", "stock"),
+    "launch": ("shared-ptp-tlb", "stock"),
+    "steady": ("shared-ptp", "stock"),
+    "ipc": ("shared-ptp-tlb", "stock"),
+}
+
+CHECK_TARGETS = sorted(CHECK_CONFIGS)
+
+
+# ---------------------------------------------------------------------------
+# Workloads (one per target).  ``snap`` captures one semantic-state
+# snapshot; both cells of a target call it at identical workload points.
+# ---------------------------------------------------------------------------
+
+def _workload_fork(runtime, scale: Scale, snap: Callable[[], None]) -> None:
+    kernel = runtime.kernel
+    for index in range(scale.fork_rounds):
+        child, _ = runtime.fork_app(f"check-fork-{index}")
+        snap()  # Child alive: parent/child aliasing is comparable.
+        kernel.exit_task(child)
+    snap()
+
+
+def _workload_launch(runtime, scale: Scale,
+                     snap: Callable[[], None]) -> None:
+    rng = DeterministicRng(100, "check-launch")
+    for round_index in range(scale.launch_rounds):
+        session = launch_app(
+            runtime, HELLOWORLD, rng,
+            revisit_passes=scale.revisit_passes,
+            base_burst=scale.base_burst,
+            round_seed=round_index,
+        )
+        snap()  # After the launch footprint, before teardown.
+        session.finish()
+    snap()
+
+
+def _workload_steady(runtime, scale: Scale,
+                     snap: Callable[[], None]) -> None:
+    apps = list(scale.apps) if scale.apps else list(APP_PROFILES)
+    for app in apps:
+        rng = DeterministicRng(50, f"check-steady-{app}")
+        session = launch_app(
+            runtime, APP_PROFILES[app], rng,
+            revisit_passes=scale.revisit_passes,
+            base_burst=scale.base_burst,
+        )
+        for _ in range(scale.steady_rounds):
+            run_steady_state(session, rng, base_burst=scale.base_burst)
+        snap()
+        session.finish()
+    snap()
+
+
+def _workload_ipc(runtime, scale: Scale, snap: Callable[[], None]) -> None:
+    bench = BinderBenchmark(
+        runtime, config=BinderConfig(invocations=scale.ipc_invocations)
+    )
+    bench.run()
+    snap()
+
+
+_WORKLOADS = {
+    "fork": _workload_fork,
+    "launch": _workload_launch,
+    "steady": _workload_steady,
+    "ipc": _workload_ipc,
+}
+
+
+# ---------------------------------------------------------------------------
+# The cell.
+# ---------------------------------------------------------------------------
+
+def check_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One configuration's checked workload run (a self-contained cell).
+
+    Any :class:`SimulationError` — an invariant violation, a refcount
+    crash, anything the kernel's own consistency checks throw — is
+    captured as a violation rather than propagated, so an injected bug
+    produces a failing payload instead of a dead worker.
+    """
+    scale = scale_from_params(params["scale"])
+    target = params["target"]
+    checker = InvariantChecker(every_events=params["every"])
+    states: List[Dict[str, Any]] = []
+    violations: List[str] = []
+    with apply_mutation(params["inject"]):
+        try:
+            runtime = build_runtime(
+                params["config"],
+                mode=LayoutMode[params["mode"]],
+                seed=params["seed"],
+                checker=checker,
+            )
+            _WORKLOADS[target](
+                runtime, scale,
+                lambda: states.append(semantic_state(runtime.kernel)),
+            )
+        except SimulationError as exc:
+            violations.append(f"{type(exc).__name__}: {exc}")
+    return {
+        "target": target,
+        "label": params["label"],
+        "config": params["config"],
+        "injected": params["inject"],
+        "checks": checker.checks_run,
+        "states": states,
+        "violations": violations,
+    }
+
+
+def check_cells(target: str, scale: Scale = DEFAULT,
+                seed: int = DEFAULT_SEED,
+                inject: Optional[str] = None,
+                every: int = 0) -> List[Cell]:
+    """The (sharing, stock) cell pair for one target.
+
+    ``inject`` mutates only the sharing cell; the stock cell is the
+    oracle's clean reference and always runs unmodified.
+    """
+    try:
+        sharing_config, stock_config = CHECK_CONFIGS[target]
+    except KeyError:
+        raise KeyError(
+            f"unknown check target {target!r}; known: {CHECK_TARGETS}"
+        ) from None
+    axes = [
+        (sharing_config, sharing_config, inject),
+        (stock_config, stock_config, None),
+    ]
+    return [
+        Cell(
+            experiment=f"check-{target}",
+            cell_id=label if mutation is None else f"{label}+{mutation}",
+            fn="repro.experiments.checking:check_cell",
+            params={
+                "target": target,
+                "label": label,
+                "config": config_name,
+                "mode": LayoutMode.ORIGINAL.name,
+                "scale": scale_to_params(scale),
+                "seed": seed,
+                "inject": mutation,
+                "every": every,
+            },
+            config_fields=kernel_config_fields(config_name),
+        )
+        for label, config_name, mutation in axes
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Merge / report.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CheckResult:
+    """Both cells' payloads for one target, plus the verdict logic."""
+
+    target: str
+    payloads: List[Dict[str, Any]]
+
+    @property
+    def sharing(self) -> Dict[str, Any]:
+        """The sharing-configuration payload (possibly mutated)."""
+        return self.payloads[0]
+
+    @property
+    def stock(self) -> Dict[str, Any]:
+        """The stock reference payload (never mutated)."""
+        return self.payloads[1]
+
+    @property
+    def violations(self) -> List[Tuple[str, str]]:
+        """Every invariant violation as ``(cell label, message)``."""
+        return [
+            (payload["label"], message)
+            for payload in self.payloads
+            for message in payload["violations"]
+        ]
+
+    def oracle_diffs(self) -> List[str]:
+        """Snapshot-by-snapshot semantic divergences between the cells."""
+        a, b = self.sharing, self.stock
+        diffs: List[str] = []
+        if len(a["states"]) != len(b["states"]):
+            diffs.append(
+                f"snapshot counts differ: {len(a['states'])} in "
+                f"{a['label']}, {len(b['states'])} in {b['label']}"
+            )
+        for index, (state_a, state_b) in enumerate(
+                zip(a["states"], b["states"])):
+            for line in diff_states(state_a, state_b,
+                                    a["label"], b["label"]):
+                diffs.append(f"snapshot {index}: {line}")
+        return diffs
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing fired: no violations, no divergence, and
+        both cells produced at least one snapshot."""
+        return (not self.violations
+                and not self.oracle_diffs()
+                and all(payload["states"] for payload in self.payloads))
+
+    def render(self) -> str:
+        """Plain-text report: per-cell table, then the two verdicts."""
+        rows = [
+            [
+                payload["label"],
+                payload["config"],
+                payload["injected"] or "-",
+                str(payload["checks"]),
+                str(len(payload["states"])),
+                str(len(payload["violations"])),
+            ]
+            for payload in self.payloads
+        ]
+        lines = [format_table(
+            ["Cell", "config", "injected", "sweeps", "snapshots",
+             "violations"],
+            rows,
+            title=f"Check: {self.target} — invariant sweeps + oracle",
+        )]
+        for label, message in self.violations:
+            lines.append(f"invariant violation [{label}]: {message}")
+        diffs = self.oracle_diffs()
+        if diffs:
+            lines.append(f"differential oracle: DIVERGED "
+                         f"({len(diffs)} differences)")
+            lines.extend(f"  {line}" for line in diffs[:25])
+        else:
+            lines.append(
+                "differential oracle: states match at every snapshot"
+            )
+        lines.append(
+            f"check {self.target}: {'PASS' if self.ok else 'FAIL'}"
+        )
+        return "\n".join(lines)
+
+
+def merge_check(target: str,
+                payloads: List[Dict[str, Any]]) -> CheckResult:
+    """Pure merge: cell payloads (in cell order) -> CheckResult."""
+    return CheckResult(target=target, payloads=payloads)
+
+
+def run_check(target: str, scale: Scale = DEFAULT,
+              orchestrator: Optional[Orchestrator] = None,
+              seed: int = DEFAULT_SEED,
+              inject: Optional[str] = None,
+              every: int = 0) -> CheckResult:
+    """Run one check target through the orchestrator."""
+    orchestrator = orchestrator or Orchestrator()
+    cells = check_cells(target, scale, seed, inject=inject, every=every)
+    return merge_check(target, orchestrator.run(cells))

@@ -77,12 +77,15 @@ def build_runtime(
     asid_enabled: bool = True,
     seed: int = 7,
     tracer=None,
+    checker=None,
 ) -> AndroidRuntime:
     """A booted Android runtime under one kernel configuration.
 
     ``tracer`` (a :class:`repro.trace.Tracer`) is attached *before*
     boot, so a trace covers the kernel's whole lifetime and its
     per-type counts can be compared against the global counters.
+    ``checker`` (a :class:`repro.check.InvariantChecker`) likewise: the
+    boot sequence itself runs under the invariant sweeps.
     """
     try:
         config: KernelConfig = CONFIG_FACTORIES[config_name]()
@@ -92,7 +95,7 @@ def build_runtime(
             f"{sorted(CONFIG_FACTORIES)}"
         ) from None
     config = config.with_(asid_enabled=asid_enabled)
-    kernel = Kernel(config=config, tracer=tracer)
+    kernel = Kernel(config=config, tracer=tracer, checker=checker)
     return boot_android(kernel, mode=mode, seed=seed)
 
 

@@ -21,6 +21,14 @@ the workloads runs and exports them::
 
     satr trace fork --scale quick --format chrome -o /tmp/t.json
     satr trace launch --format jsonl -o launch.jsonl
+
+The ``check`` subcommand runs a workload under the runtime invariant
+checker and the shared-vs-stock differential oracle (non-zero exit on
+any violation or divergence)::
+
+    satr check fork --scale quick
+    satr check ipc --scale quick --jobs 2
+    satr check fork --scale quick --inject skip-write-protect  # must fail
 """
 
 import argparse
@@ -303,12 +311,71 @@ def trace_main(argv) -> int:
     return 0 if result.all_agree else 1
 
 
+def check_main(argv) -> int:
+    """The ``satr check`` subcommand: invariants + differential oracle."""
+    from repro.check import mutation_names
+    from repro.experiments import checking
+
+    parser = argparse.ArgumentParser(
+        prog="satr check",
+        description=("Run one workload under the runtime invariant "
+                     "checker (refcounts, COW protection, TLB "
+                     "coherence, domain confinement) and the "
+                     "shared-vs-stock differential oracle.  Exits "
+                     "non-zero on any violation or divergence."),
+    )
+    parser.add_argument("target", choices=checking.CHECK_TARGETS,
+                        help="workload to check")
+    parser.add_argument("--scale", default="default",
+                        choices=sorted(SCALES))
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--inject", default=None, metavar="MUTATION",
+                        choices=mutation_names(),
+                        help="break one protocol step in the sharing "
+                             "cell (the run must then fail); one of: "
+                             f"{', '.join(mutation_names())}")
+    parser.add_argument("--every", type=int, default=0, metavar="N",
+                        help="additionally sweep every N access events "
+                             "(default: 0, operation boundaries only)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR")
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.every < 0:
+        parser.error("--every must be >= 0")
+    scale = SCALES[args.scale]
+
+    telemetry = Telemetry(
+        progress=lambda line: print(line, file=sys.stderr, flush=True))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    orchestrator = Orchestrator(jobs=args.jobs, cache=cache,
+                                telemetry=telemetry)
+
+    started = time.time()
+    result = checking.run_check(args.target, scale,
+                                orchestrator=orchestrator,
+                                seed=args.seed, inject=args.inject,
+                                every=args.every)
+    elapsed = time.time() - started
+    print(f"[satr] check {args.target}: {elapsed:.1f}s",
+          file=sys.stderr)
+    print(f"=== check {args.target} (scale={scale.name}) ===")
+    print(result.render())
+    print()
+    print(telemetry.summary(), file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "check":
+        return check_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="satr",
         description=("Shared Address Translation Revisited (EuroSys'16) — "
@@ -317,7 +384,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        help=f"one of: all, trace, {', '.join(sorted(TARGETS))}",
+        help=f"one of: all, trace, check, {', '.join(sorted(TARGETS))}",
     )
     parser.add_argument(
         "--scale", default="default", choices=sorted(SCALES),

@@ -284,3 +284,7 @@ class MicroTlb:
     def occupancy(self) -> int:
         """Number of entries/lines currently held."""
         return len(self._lru)
+
+    def entries(self) -> List[TlbEntry]:
+        """Every live entry, in no particular order."""
+        return list(self._entries.values())

@@ -71,8 +71,15 @@ class ExecutionEngine:
     def run(self, task: Task, events, core_id: int = None) -> None:
         """Schedule ``task`` and execute a sequence of events."""
         core = self._kernel.schedule(task, core_id)
-        for event in events:
-            self.execute_event(core, task, event)
+        checker = self._kernel.checker
+        if checker.enabled:
+            for event in events:
+                self.execute_event(core, task, event)
+                checker.on_event(self._kernel)
+            checker.after_run(self._kernel)
+        else:
+            for event in events:
+                self.execute_event(core, task, event)
 
     def execute_event(self, core, task: Task, event: AccessEvent) -> None:
         """Run one access burst: translate, fault, fetch."""

@@ -28,6 +28,7 @@ from repro.kernel.syscalls import SyscallInterface
 from repro.kernel.task import Task, TaskState
 from repro.core.ptshare import PageTableManager
 from repro.core.tlbshare import TlbSharePolicy
+from repro.check import NULL_CHECKER
 from repro.trace import NULL_TRACER
 
 
@@ -36,7 +37,7 @@ class Kernel:
 
     def __init__(self, platform: Optional[Platform] = None,
                  config: Optional[KernelConfig] = None,
-                 tracer=None) -> None:
+                 tracer=None, checker=None) -> None:
         self.platform = platform or Platform()
         self.config = config or KernelConfig()
         self.config.validate()
@@ -51,6 +52,12 @@ class Kernel:
         self.platform.mmu.tracer = self.tracer
         for core in self.platform.cores:
             core.main_tlb.tracer = self.tracer
+
+        #: Runtime invariant checking, wired exactly like the tracer (a
+        #: runtime concern, never a ``KernelConfig`` field): every check
+        #: site guards on ``checker.enabled`` so the disabled path costs
+        #: one attribute read.
+        self.checker = checker if checker is not None else NULL_CHECKER
 
         self.counters = Counters()
         self.page_cache = PageCache(self.memory)
@@ -112,7 +119,11 @@ class Kernel:
 
     def fork(self, parent: Task, name: str) -> "tuple[Task, ForkReport]":
         """Fork a task under the configured policy."""
-        return do_fork(self, parent, name)
+        result = do_fork(self, parent, name)
+        checker = self.checker
+        if checker.enabled:
+            checker.after_op(self, "fork")
+        return result
 
     def exit_task(self, task: Task) -> None:
         """Tear down a task's address space (Section 3.1.2, case 5)."""
@@ -128,6 +139,9 @@ class Kernel:
                 core.current_task = None
         task.state = TaskState.EXITED
         self._free_asids.append(task.asid)
+        checker = self.checker
+        if checker.enabled:
+            checker.after_op(self, "exit")
 
     # ------------------------------------------------------------------
     # Scheduling / execution.

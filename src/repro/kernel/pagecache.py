@@ -102,6 +102,14 @@ class PageCache:
         """Probe without filling."""
         return self._frames.get((file.file_id, page_index))
 
+    def contents(self) -> list:
+        """Sorted ``(file_id, page_index)`` keys of every resident page.
+
+        The semantic pagecache state: which pages are resident, not which
+        frames hold them (frame numbers are an allocation artifact).
+        """
+        return sorted(self._frames)
+
     def resident_pages(self, file: FileObject) -> int:
         """Cached pages of one file."""
         return sum(1 for (fid, _) in self._frames if fid == file.file_id)

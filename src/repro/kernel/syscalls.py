@@ -66,6 +66,9 @@ class SyscallInterface:
         # other sharers' address spaces).
         self._unshare_range(task, vma.start, vma.end, "new-region")
         task.mm.insert_vma(vma)
+        checker = kernel.checker
+        if checker.enabled:
+            checker.after_op(kernel, "mmap")
         return vma
 
     # ------------------------------------------------------------------
@@ -85,6 +88,9 @@ class SyscallInterface:
         if cleared:
             kernel.flush_task_tlbs(task)
             kernel.counter_scope(task).bump("tlb_shootdowns")
+        checker = kernel.checker
+        if checker.enabled:
+            checker.after_op(kernel, "munmap")
         return cleared
 
     # ------------------------------------------------------------------
@@ -110,6 +116,9 @@ class SyscallInterface:
                 self._write_protect_range(task, inner)
         kernel.flush_task_tlbs(task)
         kernel.counter_scope(task).bump("tlb_shootdowns")
+        checker = kernel.checker
+        if checker.enabled:
+            checker.after_op(kernel, "mprotect")
 
     # ------------------------------------------------------------------
     # Helpers.

@@ -19,6 +19,7 @@ Corrupt or unreadable artifacts are treated as misses, never errors.
 
 import json
 import os
+import sys
 import tempfile
 from typing import Any, Dict, Optional
 
@@ -41,6 +42,7 @@ class ResultCache:
 
     def __init__(self, root: Optional[str] = None) -> None:
         self.root = root or default_cache_dir()
+        self._store_warned = False
 
     def path(self, digest: str) -> str:
         """The artifact path for one digest."""
@@ -78,6 +80,14 @@ class ResultCache:
             except BaseException:
                 os.unlink(tmp_path)
                 raise
-        except OSError:
-            # A read-only or full disk degrades to "no cache", silently.
-            pass
+        except OSError as exc:
+            # A read-only or full disk degrades to "no cache": warn once
+            # per cache instance so a mid-sweep worker keeps computing
+            # instead of dying, but the user learns results aren't kept.
+            if not self._store_warned:
+                self._store_warned = True
+                print(
+                    f"[satr] warning: result cache at {self.root} is not "
+                    f"writable ({exc}); continuing uncached",
+                    file=sys.stderr,
+                )

@@ -34,6 +34,10 @@ class Tracer:
 
     def __init__(self, ring_size: int = DEFAULT_RING_SIZE,
                  clock: Optional[Callable[[], float]] = None) -> None:
+        if not isinstance(ring_size, int) or isinstance(ring_size, bool):
+            raise ValueError(
+                f"ring_size must be an integer, got {ring_size!r}"
+            )
         if ring_size < 1:
             raise ValueError(f"ring_size must be >= 1, got {ring_size}")
         self.ring_size = ring_size

@@ -135,6 +135,23 @@ class TestOrchestrator:
         assert orch.run([cell])[0]["doubled"] == 8
         assert orch.telemetry.misses == 1
 
+    def test_unwritable_cache_warns_once_and_continues(self, tmp_path,
+                                                       capsys):
+        """A read-only cache root degrades to 'no cache': one stderr
+        warning, no exception, results still computed."""
+        # A plain file where the cache root should be defeats makedirs
+        # even for root, unlike a chmod-based read-only directory.
+        root = tmp_path / "ro"
+        root.write_text("not a directory")
+        cache = ResultCache(str(root))
+        cells = [tiny_cell(v) for v in (1, 2)]
+        payloads = Orchestrator(cache=cache).run(cells)
+        assert [p["doubled"] for p in payloads] == [2, 4]
+        err = capsys.readouterr().err
+        assert err.count("not writable") == 1
+        # Nothing was stored; a re-read still misses cleanly.
+        assert cache.load(cells[0].digest()) is None
+
     def test_telemetry_summary_and_progress(self):
         lines = []
         telemetry = Telemetry(progress=lines.append)

@@ -243,3 +243,119 @@ class TestSharedCounters:
         assert env.kernel.shared_ptp_count(child) == 2
         env.kernel.run(child, [store(env.data.start)])
         assert env.kernel.shared_ptp_count(child) == 1
+
+
+class TestRangeBoundaries:
+    """The empty/boundary semantics of ``ensure_range_private``."""
+
+    def _unshare_range(self, env, task, start, end):
+        return env.kernel.ptmgr.ensure_range_private(
+            task, start, end, "region-modify",
+            env.kernel.counter_scope(task),
+            copy_frame_refs=env.kernel.take_frame_refs,
+        )
+
+    def test_empty_range_unshares_nothing(self):
+        env = _Env()
+        child, _ = env.fork()
+        assert self._unshare_range(env, child, env.data.start,
+                                   env.data.start) == 0
+        assert env.slot(child, env.data.start).need_copy
+        assert "region-modify" not in child.counters.unshare_by_trigger
+
+    def test_inverted_range_unshares_nothing(self):
+        env = _Env()
+        child, _ = env.fork()
+        assert self._unshare_range(env, child, env.data.start,
+                                   env.data.start - PAGE_SIZE) == 0
+        assert env.slot(child, env.data.start).need_copy
+
+    def test_zero_length_munmap_keeps_sharing(self):
+        env = _Env()
+        child, _ = env.fork()
+        env.kernel.syscalls.munmap(child, env.data.start, 0)
+        assert env.slot(child, env.data.start).need_copy
+        assert "region-free" not in child.counters.unshare_by_trigger
+
+    def test_range_ending_on_slot_boundary_spares_next_slot(self):
+        """``end`` exclusive: a range ending exactly at a slot base must
+        not unshare that slot."""
+        env = _Env()
+        big = env.kernel.syscalls.mmap(
+            env.parent, 2 * PTP_SPAN, Prot.READ | Prot.WRITE, ANON,
+            addr=0x70000000)
+        env.kernel.run(env.parent, [store(big.start),
+                                    store(big.start + PTP_SPAN)])
+        child, _ = env.fork()
+        env.kernel.syscalls.mprotect(child, big.start, PTP_SPAN,
+                                     Prot.READ)
+        assert child.counters.unshare_by_trigger["region-modify"] == 1
+        assert env.slot(child, big.start + PTP_SPAN).need_copy
+
+    def test_range_crossing_boundary_unshares_both(self):
+        env = _Env()
+        big = env.kernel.syscalls.mmap(
+            env.parent, 2 * PTP_SPAN, Prot.READ | Prot.WRITE, ANON,
+            addr=0x70000000)
+        env.kernel.run(env.parent, [store(big.start),
+                                    store(big.start + PTP_SPAN)])
+        child, _ = env.fork()
+        env.kernel.syscalls.mprotect(
+            child, big.start + PTP_SPAN - PAGE_SIZE, 2 * PAGE_SIZE,
+            Prot.READ)
+        assert child.counters.unshare_by_trigger["region-modify"] == 2
+
+
+class TestSoleSharerExit:
+    """Figure 6, case 5: exit is an unshare trigger even for the last
+    sharer ("last sharer privatizes")."""
+
+    def test_sole_sharer_exit_records_unshare(self):
+        env = _Env()
+        child, _ = env.fork()
+        env.kernel.exit_task(child)
+        # Child detached 2 shared slots (code+data, heap).
+        assert child.counters.unshare_by_trigger["exit"] == 2
+        # Parent is now the sole sharer of both; its exit must ALSO
+        # record exit-trigger unshares before reclaiming.
+        env.kernel.exit_task(env.parent)
+        assert env.parent.counters.unshare_by_trigger["exit"] == 2
+
+    def test_sole_sharer_exit_still_reclaims(self):
+        from repro.hw.memory import FrameKind
+
+        env = _Env()
+        child, _ = env.fork()
+        env.kernel.exit_task(child)
+        env.kernel.exit_task(env.parent)
+        assert env.kernel.memory.live_frames(FrameKind.PTP) == 0
+
+    def test_unshared_exit_records_nothing(self):
+        """A never-shared task's exit is not an unshare."""
+        env = _Env()
+        env.kernel.exit_task(env.parent)
+        assert "exit" not in env.parent.counters.unshare_by_trigger
+
+    def test_sole_sharer_exit_emits_trace_event(self):
+        from repro.kernel.config import shared_ptp_config
+        from repro.kernel.kernel import Kernel
+        from repro.trace import EventType, Tracer
+
+        tracer = Tracer()
+        kernel = Kernel(config=shared_ptp_config(), tracer=tracer)
+        parent = kernel.create_process("parent")
+        heap = kernel.syscalls.mmap(parent, 4 * PAGE_SIZE,
+                                    Prot.READ | Prot.WRITE, ANON,
+                                    addr=0x50000000)
+        kernel.run(parent, [store(heap.start)])
+        child, _ = kernel.fork(parent, "child")
+        kernel.exit_task(child)   # Detach exit.
+        kernel.exit_task(parent)  # Sole-sharer exit.
+        exits = [event for event in tracer.events()
+                 if event.etype is EventType.PTP_UNSHARE
+                 and event.cause == "exit"]
+        assert len(exits) == 2
+        # Counter agreement survives the new exit path.
+        assert tracer.counts.get("ptp_unshare", 0) == (
+            parent.counters.ptp_unshare_events
+            + child.counters.ptp_unshare_events)

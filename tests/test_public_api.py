@@ -59,4 +59,4 @@ def test_package_exports_resolve():
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"

@@ -110,6 +110,13 @@ class TestRing:
         with pytest.raises(ValueError):
             Tracer(ring_size=0)
 
+    @pytest.mark.parametrize("bad", [2.5, "64", None, True])
+    def test_ring_size_must_be_an_integer(self, bad):
+        """Floats would make ``deque(maxlen=...)`` raise far from the
+        call site; bools are almost certainly a caller bug."""
+        with pytest.raises(ValueError):
+            Tracer(ring_size=bad)
+
     def test_clear_resets_everything(self):
         tracer = Tracer(ring_size=4)
         tracer.emit(EventType.FORK)
