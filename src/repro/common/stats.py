@@ -29,7 +29,17 @@ def geometric_mean(values: Sequence[float]) -> float:
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Linear-interpolation percentile of pre-sorted ``sorted_values``."""
+    """Linear-interpolation percentile of pre-sorted ``sorted_values``.
+
+    ``fraction`` is the quantile as a fraction (0.25 = Q1), not a
+    percentage; anything outside [0.0, 1.0] would silently index past
+    the ends of the data, so it is rejected.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(
+            f"percentile fraction must be within [0.0, 1.0], "
+            f"got {fraction!r}"
+        )
     if not sorted_values:
         raise ValueError("percentile of empty sequence")
     if len(sorted_values) == 1:

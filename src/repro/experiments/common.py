@@ -78,6 +78,7 @@ def build_runtime(
     seed: int = 7,
     tracer=None,
     checker=None,
+    metrics=None,
 ) -> AndroidRuntime:
     """A booted Android runtime under one kernel configuration.
 
@@ -85,7 +86,9 @@ def build_runtime(
     boot, so a trace covers the kernel's whole lifetime and its
     per-type counts can be compared against the global counters.
     ``checker`` (a :class:`repro.check.InvariantChecker`) likewise: the
-    boot sequence itself runs under the invariant sweeps.
+    boot sequence itself runs under the invariant sweeps.  ``metrics``
+    (a :class:`repro.metrics.Sampler`) likewise again: the series
+    starts at boot, so lifecycle gauges cover the kernel's whole life.
     """
     try:
         config: KernelConfig = CONFIG_FACTORIES[config_name]()
@@ -95,7 +98,8 @@ def build_runtime(
             f"{sorted(CONFIG_FACTORIES)}"
         ) from None
     config = config.with_(asid_enabled=asid_enabled)
-    kernel = Kernel(config=config, tracer=tracer, checker=checker)
+    kernel = Kernel(config=config, tracer=tracer, checker=checker,
+                    metrics=metrics)
     return boot_android(kernel, mode=mode, seed=seed)
 
 

@@ -29,6 +29,19 @@ any violation or divergence)::
     satr check fork --scale quick
     satr check ipc --scale quick --jobs 2
     satr check fork --scale quick --inject skip-write-protect  # must fail
+
+The ``metrics`` subcommand samples sharing/TLB/page-table gauges while
+a workload runs and exports the series::
+
+    satr metrics fork --scale quick                      # terminal summary
+    satr metrics launch --format prom -o launch.prom     # exposition text
+    satr metrics steady --every 500 --format jsonl       # time series
+
+The ``bench`` subcommand regenerates the metrics-overhead baseline
+(``BENCH_metrics.json``) or gates against a committed one::
+
+    satr bench --scale quick
+    satr bench --compare BENCH_metrics.json   # non-zero exit on regression
 """
 
 import argparse
@@ -368,6 +381,146 @@ def check_main(argv) -> int:
     return 0 if result.ok else 1
 
 
+def metrics_main(argv) -> int:
+    """The ``satr metrics`` subcommand: sample, report, export."""
+    from repro.experiments import metricscells
+    from repro.metrics import DEFAULT_SAMPLE_EVERY
+
+    parser = argparse.ArgumentParser(
+        prog="satr metrics",
+        description=("Sample sharing/TLB/page-table gauges (shared vs "
+                     "private PTPs, page-table bytes, NEED_COPY slots, "
+                     "unshare causes, TLB occupancy/miss rates, fault "
+                     "rates) while a workload runs; print a terminal "
+                     "summary or export Prometheus text / JSONL."),
+    )
+    parser.add_argument("target", choices=metricscells.METRICS_TARGETS,
+                        help="workload to sample")
+    parser.add_argument("--scale", default="default",
+                        choices=sorted(SCALES))
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--every", type=int,
+                        default=DEFAULT_SAMPLE_EVERY, metavar="N",
+                        help="sample every N access events, plus every "
+                             "lifecycle boundary (default: "
+                             f"{DEFAULT_SAMPLE_EVERY}; 0 = boundaries "
+                             "only)")
+    parser.add_argument("--format", default="summary",
+                        choices=("summary", "prom", "jsonl"),
+                        help="output format (default: summary)")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="output file for prom/jsonl (default: "
+                             "metrics-<target>.prom or .jsonl)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR")
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.every < 0:
+        parser.error("--every must be >= 0")
+    scale = SCALES[args.scale]
+
+    telemetry = Telemetry(
+        progress=lambda line: print(line, file=sys.stderr, flush=True))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    orchestrator = Orchestrator(jobs=args.jobs, cache=cache,
+                                telemetry=telemetry)
+
+    started = time.time()
+    result = metricscells.run_metrics(args.target, scale,
+                                      orchestrator=orchestrator,
+                                      seed=args.seed, every=args.every)
+    elapsed = time.time() - started
+    if args.format == "summary":
+        print(f"[satr] metrics {args.target}: {elapsed:.1f}s",
+              file=sys.stderr)
+        print(f"=== metrics {args.target} (scale={scale.name}) ===")
+        print(result.render())
+        print()
+    else:
+        suffix = "prom" if args.format == "prom" else "jsonl"
+        output = args.output or f"metrics-{args.target}.{suffix}"
+        written = metricscells.export_result(result, output, args.format)
+        print(f"[satr] metrics {args.target}: {elapsed:.1f}s, "
+              f"{written} lines -> {output}", file=sys.stderr)
+    print(telemetry.summary(), file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def bench_main(argv) -> int:
+    """The ``satr bench`` subcommand: perf baseline / regression gate."""
+    from repro.experiments import bench
+
+    parser = argparse.ArgumentParser(
+        prog="satr bench",
+        description=("Time every metrics target with sampling off and "
+                     "on (min of N runs) and write the baseline report; "
+                     "with --compare, gate the fresh measurement "
+                     "against a committed baseline and exit non-zero "
+                     "on a wall-time regression or any gauge drift."),
+    )
+    parser.add_argument("--scale", default="quick",
+                        choices=sorted(SCALES),
+                        help="experiment sizing (default: quick)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--every", type=int, metavar="N",
+                        default=None,
+                        help="sampling interval (default: the metrics "
+                             "default)")
+    parser.add_argument("--runs", type=int, default=bench.DEFAULT_RUNS,
+                        metavar="N",
+                        help="wall-time samples per mode "
+                             f"(default: {bench.DEFAULT_RUNS})")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="report destination (default: "
+                             "BENCH_metrics.json; with --compare the "
+                             "report is only written when -o is given)")
+    parser.add_argument("--compare", default=None, metavar="BASELINE",
+                        help="baseline report to gate against")
+    parser.add_argument("--tolerance", type=float,
+                        default=bench.DEFAULT_TOLERANCE, metavar="F",
+                        help="allowed wall-time regression fraction "
+                             f"(default: {bench.DEFAULT_TOLERANCE})")
+    args = parser.parse_args(argv)
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+    if args.every is not None and args.every < 0:
+        parser.error("--every must be >= 0")
+    from repro.metrics import DEFAULT_SAMPLE_EVERY
+
+    every = DEFAULT_SAMPLE_EVERY if args.every is None else args.every
+    scale = SCALES[args.scale]
+
+    started = time.time()
+    report = bench.run_bench(scale, seed=args.seed, every=every,
+                             runs=args.runs)
+    elapsed = time.time() - started
+    print(f"[satr] bench: {elapsed:.1f}s", file=sys.stderr)
+    print(bench.render_report(report))
+
+    if args.compare is None:
+        output = args.output or "BENCH_metrics.json"
+        bench.write_report(report, output)
+        print(f"[satr] bench report -> {output}", file=sys.stderr)
+        return 0
+
+    baseline = bench.load_report(args.compare)
+    problems = bench.compare_reports(report, baseline,
+                                     tolerance=args.tolerance)
+    if args.output:
+        bench.write_report(report, args.output)
+        print(f"[satr] bench report -> {args.output}", file=sys.stderr)
+    if problems:
+        print(f"[satr] bench vs {args.compare}: "
+              f"{len(problems)} problem(s)", file=sys.stderr)
+        for problem in problems:
+            print(f"  REGRESSION: {problem}")
+        return 1
+    print(f"[satr] bench vs {args.compare}: ok", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
@@ -376,6 +529,10 @@ def main(argv=None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "check":
         return check_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        return metrics_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="satr",
         description=("Shared Address Translation Revisited (EuroSys'16) — "
@@ -384,7 +541,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        help=f"one of: all, trace, check, {', '.join(sorted(TARGETS))}",
+        help=("one of: all, trace, check, metrics, bench, "
+              f"{', '.join(sorted(TARGETS))}"),
     )
     parser.add_argument(
         "--scale", default="default", choices=sorted(SCALES),

@@ -23,7 +23,7 @@ Flush semantics follow the hardware:
   the paper's domain-fault handler uses (Section 3.2.3).
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.constants import (
@@ -67,6 +67,10 @@ class TlbStats:
     evictions: int = 0
     flushes: int = 0
     entries_flushed: int = 0
+    #: Flush operations by kind (``all`` / ``non-global`` / ``asid`` /
+    #: ``va``), so the metrics layer can report flush causes without
+    #: scraping trace events.  ``flushes`` stays the total of these.
+    flushes_by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
     def accesses(self) -> int:
@@ -77,6 +81,12 @@ class TlbStats:
     def miss_rate(self) -> float:
         """Misses over total accesses (0.0 when idle)."""
         return self.misses / self.accesses if self.accesses else 0.0
+
+    def record_flush(self, kind: str, entries: int) -> None:
+        """Count one flush operation of ``kind`` dropping ``entries``."""
+        self.flushes += 1
+        self.entries_flushed += entries
+        self.flushes_by_kind[kind] = self.flushes_by_kind.get(kind, 0) + 1
 
 
 class MainTlb:
@@ -142,8 +152,7 @@ class MainTlb:
         flushed = sum(len(s) for s in self._sets)
         for tlb_set in self._sets:
             tlb_set.clear()
-        self.stats.flushes += 1
-        self.stats.entries_flushed += flushed
+        self.stats.record_flush("all", flushed)
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(EventType.TLB_FLUSH, cause="flush-all",
@@ -157,8 +166,7 @@ class MainTlb:
             kept = [e for e in tlb_set if e.global_]
             flushed += len(tlb_set) - len(kept)
             self._sets[index] = kept
-        self.stats.flushes += 1
-        self.stats.entries_flushed += flushed
+        self.stats.record_flush("non-global", flushed)
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(EventType.TLB_FLUSH, cause="flush-non-global",
@@ -172,8 +180,7 @@ class MainTlb:
             kept = [e for e in tlb_set if e.global_ or e.asid != asid]
             flushed += len(tlb_set) - len(kept)
             self._sets[index] = kept
-        self.stats.flushes += 1
-        self.stats.entries_flushed += flushed
+        self.stats.record_flush("asid", flushed)
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(EventType.TLB_FLUSH, cause="flush-asid",
@@ -191,8 +198,7 @@ class MainTlb:
             ]
             flushed += len(tlb_set) - len(kept)
             self._sets[index] = kept
-        self.stats.flushes += 1
-        self.stats.entries_flushed += flushed
+        self.stats.record_flush("va", flushed)
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(EventType.TLB_FLUSH, vaddr=vpn << 12,
@@ -263,8 +269,7 @@ class MicroTlb:
         flushed = len(self._lru)
         self._entries.clear()
         self._lru.clear()
-        self.stats.flushes += 1
-        self.stats.entries_flushed += flushed
+        self.stats.record_flush("all", flushed)
         return flushed
 
     def flush_va(self, vpn: int) -> int:
@@ -277,8 +282,7 @@ class MicroTlb:
                 self._lru.remove(key)
                 flushed += 1
         if flushed:
-            self.stats.flushes += 1
-            self.stats.entries_flushed += flushed
+            self.stats.record_flush("va", flushed)
         return flushed
 
     def occupancy(self) -> int:

@@ -72,14 +72,27 @@ class ExecutionEngine:
         """Schedule ``task`` and execute a sequence of events."""
         core = self._kernel.schedule(task, core_id)
         checker = self._kernel.checker
-        if checker.enabled:
-            for event in events:
-                self.execute_event(core, task, event)
-                checker.on_event(self._kernel)
-            checker.after_run(self._kernel)
+        metrics = self._kernel.metrics
+        if checker.enabled or metrics.enabled:
+            self._run_observed(core, task, events, checker, metrics)
         else:
             for event in events:
                 self.execute_event(core, task, event)
+
+    def _run_observed(self, core, task: Task, events, checker,
+                      metrics) -> None:
+        """The instrumented run loop (checker and/or sampler attached)."""
+        kernel = self._kernel
+        check = checker.enabled
+        sample = metrics.enabled
+        for event in events:
+            self.execute_event(core, task, event)
+            if check:
+                checker.on_event(kernel)
+            if sample:
+                metrics.on_event(kernel)
+        if check:
+            checker.after_run(kernel)
 
     def execute_event(self, core, task: Task, event: AccessEvent) -> None:
         """Run one access burst: translate, fault, fetch."""

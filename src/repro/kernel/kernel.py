@@ -29,6 +29,7 @@ from repro.kernel.task import Task, TaskState
 from repro.core.ptshare import PageTableManager
 from repro.core.tlbshare import TlbSharePolicy
 from repro.check import NULL_CHECKER
+from repro.metrics import NULL_SAMPLER
 from repro.trace import NULL_TRACER
 
 
@@ -37,7 +38,7 @@ class Kernel:
 
     def __init__(self, platform: Optional[Platform] = None,
                  config: Optional[KernelConfig] = None,
-                 tracer=None, checker=None) -> None:
+                 tracer=None, checker=None, metrics=None) -> None:
         self.platform = platform or Platform()
         self.config = config or KernelConfig()
         self.config.validate()
@@ -58,6 +59,13 @@ class Kernel:
         #: site guards on ``checker.enabled`` so the disabled path costs
         #: one attribute read.
         self.checker = checker if checker is not None else NULL_CHECKER
+
+        #: Time-series metrics sampling, wired exactly like the tracer
+        #: and checker (a runtime concern, never a ``KernelConfig``
+        #: field): sampled at lifecycle boundaries and, via the engine,
+        #: every N access events.
+        self.metrics = metrics if metrics is not None else NULL_SAMPLER
+        self.metrics.bind_clock(self.sim_time)
 
         self.counters = Counters()
         self.page_cache = PageCache(self.memory)
@@ -116,6 +124,9 @@ class Kernel:
     def exec_zygote(self, task: Task) -> None:
         """Mark ``task`` as the zygote (the exec-time flag of 3.2.2)."""
         self.tlbshare.on_exec(task, is_zygote_binary=True)
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.after_op(self, "exec")
 
     def fork(self, parent: Task, name: str) -> "tuple[Task, ForkReport]":
         """Fork a task under the configured policy."""
@@ -123,6 +134,9 @@ class Kernel:
         checker = self.checker
         if checker.enabled:
             checker.after_op(self, "fork")
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.after_op(self, "fork")
         return result
 
     def exit_task(self, task: Task) -> None:
@@ -142,6 +156,9 @@ class Kernel:
         checker = self.checker
         if checker.enabled:
             checker.after_op(self, "exit")
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.after_op(self, "exit")
 
     # ------------------------------------------------------------------
     # Scheduling / execution.

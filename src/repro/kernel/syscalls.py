@@ -69,6 +69,9 @@ class SyscallInterface:
         checker = kernel.checker
         if checker.enabled:
             checker.after_op(kernel, "mmap")
+        metrics = kernel.metrics
+        if metrics.enabled:
+            metrics.after_op(kernel, "mmap")
         return vma
 
     # ------------------------------------------------------------------
@@ -91,6 +94,9 @@ class SyscallInterface:
         checker = kernel.checker
         if checker.enabled:
             checker.after_op(kernel, "munmap")
+        metrics = kernel.metrics
+        if metrics.enabled:
+            metrics.after_op(kernel, "munmap")
         return cleared
 
     # ------------------------------------------------------------------
@@ -119,6 +125,9 @@ class SyscallInterface:
         checker = kernel.checker
         if checker.enabled:
             checker.after_op(kernel, "mprotect")
+        metrics = kernel.metrics
+        if metrics.enabled:
+            metrics.after_op(kernel, "mprotect")
 
     # ------------------------------------------------------------------
     # Helpers.

@@ -1,0 +1,65 @@
+"""``repro.metrics`` — time-series sharing/TLB metrics for ``satr``.
+
+The observability layer that complements :mod:`repro.trace` (events)
+and :mod:`repro.check` (invariants): a schema-first
+:class:`MetricsRegistry` of typed counters/gauges/histograms, a
+:class:`Sampler` that snapshots the paper's sharing-effectiveness
+gauges on an access-event interval and at every lifecycle boundary,
+Prometheus/OpenMetrics and JSONL expositions, and the perf-baseline
+harness behind ``satr bench``.
+
+Wiring contract (shared with the tracer and checker): the sampler is a
+``Kernel(config, metrics=...)`` / ``build_runtime(metrics=...)``
+runtime argument, never a ``KernelConfig`` field, so orchestrator
+cache digests are unaffected and the disabled path costs one attribute
+read per site (``NULL_SAMPLER``).
+"""
+
+from repro.metrics.collect import (
+    FAULT_KINDS,
+    METRIC_SPECS,
+    PAGETABLE_BYTES_BOUNDS,
+    PGD_BYTES,
+    collect,
+    default_registry,
+)
+from repro.metrics.expose import jsonl_lines, parse_exposition, to_prometheus
+from repro.metrics.registry import (
+    Histogram,
+    MetricError,
+    MetricSpec,
+    MetricsRegistry,
+    flatten_values,
+    format_number,
+)
+from repro.metrics.sampler import (
+    DEFAULT_SAMPLE_EVERY,
+    NULL_SAMPLER,
+    NullSampler,
+    Sampler,
+)
+from repro.metrics.summary import series_of, sparkline
+
+__all__ = [
+    "DEFAULT_SAMPLE_EVERY",
+    "FAULT_KINDS",
+    "Histogram",
+    "METRIC_SPECS",
+    "MetricError",
+    "MetricSpec",
+    "MetricsRegistry",
+    "NULL_SAMPLER",
+    "NullSampler",
+    "PAGETABLE_BYTES_BOUNDS",
+    "PGD_BYTES",
+    "Sampler",
+    "collect",
+    "default_registry",
+    "flatten_values",
+    "format_number",
+    "jsonl_lines",
+    "parse_exposition",
+    "series_of",
+    "sparkline",
+    "to_prometheus",
+]

@@ -1,0 +1,158 @@
+"""Gauge collection: one kernel -> one metrics snapshot.
+
+This module owns the metric schema (:data:`METRIC_SPECS`) and the
+collector that fills it.  The snapshot covers exactly the
+sharing-effectiveness quantities the paper plots:
+
+* shared vs private PTP counts and the sharing ratio (Table 4's
+  "shared PTPs" view over time);
+* page-table bytes — total (distinct PTP frames + level-1 tables) and
+  the per-process distribution (the Figure 3 duplication metric: the
+  per-process sum exceeds the total exactly when PTPs are shared);
+* NEED_COPY slot count and the cumulative unshare counter by cause
+  (Figure 6's five triggers, observed over the app lifetime);
+* TLB occupancy, global-entry count, miss rate and flush causes for
+  the main and micro TLBs (Section 4.1.1's translation-structure
+  pressure, the same statistics Victima motivates its design from);
+* page-cache residency and fault counters/rates.
+
+Everything here reads introspection accessors only — collection never
+mutates kernel state, so a sampled run stays byte-identical to an
+unsampled one in every payload the orchestrator caches.
+"""
+
+from typing import Any, Dict
+
+from repro.common.constants import PAGE_SIZE, PTP_SLOTS
+from repro.metrics.registry import Histogram, MetricSpec, MetricsRegistry
+
+#: Level-1 table bytes per address space: 2048 paired 8-byte entries.
+PGD_BYTES = PTP_SLOTS * 8
+
+#: Upper bounds (bytes) for the per-process page-table histogram:
+#: 16KB (a bare pgd) up to 512KB, then overflow.
+PAGETABLE_BYTES_BOUNDS = (
+    16384, 32768, 65536, 131072, 262144, 524288,
+)
+
+#: The fault-counter fields exposed under ``satr_faults_total{kind=}``.
+FAULT_KINDS = {
+    "soft": "soft_faults",
+    "cold_file": "cold_file_faults",
+    "anon": "anon_faults",
+    "cow": "cow_faults",
+    "write_enable": "write_enable_faults",
+    "domain": "domain_faults",
+}
+
+#: Every metric the sampler records, in exposition order.
+METRIC_SPECS = (
+    MetricSpec("satr_ptp_slots", "gauge",
+               "Populated level-1 slots across live tasks, by sharing "
+               "state", label="kind"),
+    MetricSpec("satr_ptp_sharing_ratio", "gauge",
+               "Shared slots over all populated slots (0 when none)"),
+    MetricSpec("satr_need_copy_slots", "gauge",
+               "Level-1 slots currently marked NEED_COPY"),
+    MetricSpec("satr_pagetable_bytes_total", "gauge",
+               "Distinct page-table bytes: unique PTP frames plus one "
+               "level-1 table per live task"),
+    MetricSpec("satr_pagetable_bytes_per_process", "histogram",
+               "Per-process page-table bytes (level-1 table plus every "
+               "referenced PTP, shared ones counted per referent)"),
+    MetricSpec("satr_ptp_unshare_total", "counter",
+               "Cumulative PTP unshares by trigger", label="cause"),
+    MetricSpec("satr_tlb_occupancy", "gauge",
+               "Live TLB entries summed across cores", label="tlb"),
+    MetricSpec("satr_tlb_global_entries", "gauge",
+               "Global (ASID-ignoring) main-TLB entries across cores"),
+    MetricSpec("satr_tlb_miss_rate", "gauge",
+               "Misses over probes since boot", label="tlb"),
+    MetricSpec("satr_tlb_flush_total", "counter",
+               "Cumulative TLB flush operations by kind, all TLBs",
+               label="kind"),
+    MetricSpec("satr_page_cache_pages", "gauge",
+               "Resident page-cache pages across all files"),
+    MetricSpec("satr_faults_total", "counter",
+               "Cumulative page faults by kind", label="kind"),
+    MetricSpec("satr_fault_rate_per_kevent", "gauge",
+               "Faults per thousand executed access events"),
+    MetricSpec("satr_live_tasks", "gauge",
+               "Tasks that have not exited"),
+    MetricSpec("satr_forks_total", "counter",
+               "Cumulative fork operations"),
+    MetricSpec("satr_events_total", "counter",
+               "Access events executed by the engine"),
+)
+
+
+def default_registry() -> MetricsRegistry:
+    """A registry holding the full :data:`METRIC_SPECS` schema."""
+    return MetricsRegistry(METRIC_SPECS)
+
+
+def collect(kernel, events_seen: int) -> Dict[str, Any]:
+    """One validated-shape snapshot of ``kernel``'s sharing state."""
+    shared = 0
+    private = 0
+    ptp_frames: Dict[int, int] = {}
+    per_process = Histogram(PAGETABLE_BYTES_BOUNDS)
+    live = kernel.live_tasks()
+    for task in live:
+        slots = 0
+        for _, slot in task.mm.tables.populated_slots():
+            slots += 1
+            if slot.need_copy:
+                shared += 1
+            else:
+                private += 1
+            ptp_frames[slot.ptp.frame.pfn] = 1
+        per_process.observe(PGD_BYTES + slots * PAGE_SIZE)
+    populated = shared + private
+
+    occupancy: Dict[str, int] = {"main": 0, "micro-i": 0, "micro-d": 0}
+    probes: Dict[str, int] = {"main": 0, "micro-i": 0, "micro-d": 0}
+    misses: Dict[str, int] = {"main": 0, "micro-i": 0, "micro-d": 0}
+    global_entries = 0
+    flushes: Dict[str, int] = {}
+    for core in kernel.platform.cores:
+        tlbs = (("main", core.main_tlb), ("micro-i", core.micro_itlb),
+                ("micro-d", core.micro_dtlb))
+        for name, tlb in tlbs:
+            occupancy[name] += tlb.occupancy()
+            probes[name] += tlb.stats.accesses
+            misses[name] += tlb.stats.misses
+            for kind, count in tlb.stats.flushes_by_kind.items():
+                flushes[kind] = flushes.get(kind, 0) + count
+        global_entries += core.main_tlb.global_entry_count()
+
+    counters = kernel.counters
+    return {
+        "satr_ptp_slots": {"shared": shared, "private": private},
+        "satr_ptp_sharing_ratio": (shared / populated) if populated else 0.0,
+        "satr_need_copy_slots": shared,
+        "satr_pagetable_bytes_total": (
+            len(ptp_frames) * PAGE_SIZE + len(live) * PGD_BYTES
+        ),
+        "satr_pagetable_bytes_per_process": per_process.to_value(),
+        "satr_ptp_unshare_total": dict(counters.unshare_by_trigger),
+        "satr_tlb_occupancy": occupancy,
+        "satr_tlb_global_entries": global_entries,
+        "satr_tlb_miss_rate": {
+            name: (misses[name] / probes[name]) if probes[name] else 0.0
+            for name in probes
+        },
+        "satr_tlb_flush_total": flushes,
+        "satr_page_cache_pages": kernel.page_cache.resident_total,
+        "satr_faults_total": {
+            kind: getattr(counters, attr)
+            for kind, attr in FAULT_KINDS.items()
+        },
+        "satr_fault_rate_per_kevent": (
+            1000.0 * counters.total_faults / events_seen
+            if events_seen else 0.0
+        ),
+        "satr_live_tasks": len(live),
+        "satr_forks_total": counters.forks,
+        "satr_events_total": events_seen,
+    }

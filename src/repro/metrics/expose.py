@@ -1,0 +1,176 @@
+"""Exposition formats: Prometheus/OpenMetrics text and JSONL series.
+
+The Prometheus exposition renders the *final* snapshot of each cell
+(one per kernel configuration) with ``# HELP``/``# TYPE`` headers and
+``target``/``config`` base labels, so one scrape compares the sharing
+and stock kernels side by side::
+
+    # HELP satr_ptp_slots Populated level-1 slots ...
+    # TYPE satr_ptp_slots gauge
+    satr_ptp_slots{target="fork",config="shared-ptp",kind="shared"} 81
+
+:func:`parse_exposition` is the matching reader: it validates the
+format the exporter promises (every sample line's base metric carries
+a preceding ``# TYPE`` declaration, histogram series use only the
+``_bucket``/``_sum``/``_count`` suffixes) and returns the parsed
+samples — the round-trip the acceptance tests and the CI smoke job
+check.
+
+The JSONL exposition is the full time series: one JSON object per
+sample per cell, every key sorted, so serial / parallel / cache-replay
+runs emit byte-identical files.
+"""
+
+import json
+import re
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.metrics.registry import (
+    MetricError,
+    MetricsRegistry,
+    format_number,
+)
+
+#: Histogram series suffixes (the only compound names the format uses).
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+_SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$'
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def _render_labels(pairs: List[Tuple[str, str]]) -> str:
+    return ",".join(f'{key}="{value}"' for key, value in pairs)
+
+
+def to_prometheus(registry: MetricsRegistry, target: str,
+                  payloads: List[Dict[str, Any]]) -> str:
+    """The Prometheus text exposition of every cell's final snapshot.
+
+    ``payloads`` are metrics-cell payloads (each carrying ``config``
+    and a non-empty ``samples`` list); the last sample of each is the
+    scrape value.  Metrics appear in declaration order, one
+    HELP/TYPE header each, then one line per (cell, label value).
+    """
+    lines: List[str] = []
+    for spec in registry.specs():
+        lines.append(f"# HELP {spec.name} {spec.help}")
+        lines.append(f"# TYPE {spec.name} {spec.kind}")
+        for payload in payloads:
+            base = [("target", target), ("config", payload["config"])]
+            value = payload["samples"][-1]["values"][spec.name]
+            if spec.kind == "histogram":
+                bounds = sorted(
+                    value["buckets"],
+                    key=lambda b: (b == "+Inf", float(b) if b != "+Inf"
+                                   else 0.0),
+                )
+                for bound in bounds:
+                    count = value["buckets"][bound]
+                    labels = _render_labels(base + [("le", bound)])
+                    lines.append(
+                        f"{spec.name}_bucket{{{labels}}} {count}"
+                    )
+                labels = _render_labels(base)
+                lines.append(
+                    f"{spec.name}_sum{{{labels}}} "
+                    f"{format_number(value['sum'])}"
+                )
+                lines.append(
+                    f"{spec.name}_count{{{labels}}} {value['count']}"
+                )
+            elif spec.label is not None:
+                for label_value in sorted(value):
+                    labels = _render_labels(
+                        base + [(spec.label, label_value)]
+                    )
+                    lines.append(
+                        f"{spec.name}{{{labels}}} "
+                        f"{format_number(value[label_value])}"
+                    )
+            else:
+                labels = _render_labels(base)
+                lines.append(
+                    f"{spec.name}{{{labels}}} {format_number(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> Dict[str, Any]:
+    """Parse (and validate) a Prometheus text exposition.
+
+    Returns ``{"types": {metric: kind}, "helps": {metric: text},
+    "samples": [{"metric", "series", "labels", "value"}]}`` where
+    ``metric`` is the declared base name a sample belongs to.  Raises
+    :class:`MetricError` on a sample line whose base metric has no
+    preceding ``# TYPE`` declaration, or on a malformed line — the
+    exporter's contract, enforced by the CI smoke job.
+    """
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    samples: List[Dict[str, Any]] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise MetricError(f"line {number}: malformed TYPE: {raw!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise MetricError(f"line {number}: malformed HELP: {raw!r}")
+            helps[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise MetricError(f"line {number}: malformed sample: {raw!r}")
+        series = match.group("name")
+        base = series
+        if base not in types:
+            for suffix in _HISTOGRAM_SUFFIXES:
+                candidate = series[: -len(suffix)]
+                if (series.endswith(suffix)
+                        and types.get(candidate) == "histogram"):
+                    base = candidate
+                    break
+        if base not in types:
+            raise MetricError(
+                f"line {number}: sample {series!r} has no preceding "
+                f"# TYPE declaration"
+            )
+        labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise MetricError(
+                f"line {number}: non-numeric value {raw!r}"
+            ) from None
+        samples.append({
+            "metric": base,
+            "series": series,
+            "labels": labels,
+            "value": value,
+        })
+    return {"types": types, "helps": helps, "samples": samples}
+
+
+def jsonl_lines(target: str,
+                payloads: List[Dict[str, Any]]) -> Iterator[str]:
+    """The JSONL time series: one sorted-key object per sample."""
+    for payload in payloads:
+        for sample in payload["samples"]:
+            record = {
+                "target": target,
+                "config": payload["config"],
+                "cell": payload["label"],
+            }
+            record.update(sample)
+            yield json.dumps(record, sort_keys=True)

@@ -1,0 +1,199 @@
+"""Typed metric declarations and the registry that owns them.
+
+The metrics layer is schema-first: every series the sampler records is
+declared up front as a :class:`MetricSpec` (name, type, help text, and
+an optional label key), and the :class:`MetricsRegistry` validates each
+snapshot against the declarations.  That is what makes the Prometheus
+exposition trustworthy — a ``# TYPE`` line exists for every sample the
+exporter can ever emit, because an undeclared or mistyped value is
+rejected at record time, not discovered by a scrape parser.
+
+Three metric kinds, matching the Prometheus data model:
+
+* ``counter``   — cumulative, monotonically non-decreasing (unshares,
+  flushes, faults);
+* ``gauge``     — a point-in-time level (shared PTP count, TLB
+  occupancy, sharing ratio);
+* ``histogram`` — a cumulative bucket distribution
+  (:class:`Histogram`), exposed as ``_bucket``/``_sum``/``_count``
+  series (per-process page-table bytes, the Figure 3 distribution).
+
+Labelled metrics carry exactly one label key (e.g. ``cause`` on the
+unshare counter); their sampled value is a ``{label value: number}``
+dict.  Unlabelled metrics sample a plain number.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import SimulationError
+
+#: The three Prometheus-compatible metric kinds.
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricError(SimulationError):
+    """A metric was declared or recorded inconsistently."""
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One declared metric: identity, type, and exposition help text."""
+
+    name: str
+    kind: str
+    help: str
+    #: Single label key for labelled metrics (``None`` = unlabelled).
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in METRIC_KINDS:
+            raise MetricError(
+                f"metric {self.name!r}: unknown kind {self.kind!r} "
+                f"(choose from {METRIC_KINDS})"
+            )
+        if self.kind == "histogram" and self.label is not None:
+            raise MetricError(
+                f"metric {self.name!r}: histograms take no extra label"
+            )
+
+
+class Histogram:
+    """A fixed-bound cumulative histogram (the Prometheus shape).
+
+    ``observe`` files one measurement; :meth:`to_value` renders the
+    JSON-safe value a sample carries: cumulative per-bucket counts
+    keyed by upper bound (plus ``+Inf``), the running sum, and the
+    observation count.
+    """
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        ordered = list(bounds)
+        if not ordered or ordered != sorted(ordered):
+            raise MetricError(
+                f"histogram bounds must be non-empty ascending, "
+                f"got {bounds!r}"
+            )
+        self.bounds = ordered
+        self._counts = [0] * (len(ordered) + 1)  # Last = +Inf overflow.
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """File one measurement into its bucket."""
+        index = len(self.bounds)
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = position
+                break
+        self._counts[index] += 1
+        self._sum += value
+        self._count += 1
+
+    def to_value(self) -> Dict[str, Any]:
+        """The JSON-safe sampled value (cumulative bucket counts)."""
+        buckets: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.bounds, self._counts):
+            running += count
+            buckets[format_number(bound)] = running
+        buckets["+Inf"] = running + self._counts[-1]
+        return {"buckets": buckets, "sum": self._sum, "count": self._count}
+
+
+def format_number(value: float) -> str:
+    """Deterministic numeric text: integers without a trailing ``.0``."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsRegistry:
+    """The ordered set of declared metrics plus value validation."""
+
+    def __init__(self, specs: Sequence[MetricSpec]) -> None:
+        self._specs: Dict[str, MetricSpec] = {}
+        for spec in specs:
+            if spec.name in self._specs:
+                raise MetricError(f"duplicate metric {spec.name!r}")
+            self._specs[spec.name] = spec
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def spec(self, name: str) -> MetricSpec:
+        """The declaration for one metric name."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise MetricError(f"unknown metric {name!r}") from None
+
+    def specs(self) -> List[MetricSpec]:
+        """Every declared metric, in declaration order."""
+        return list(self._specs.values())
+
+    def validate(self, values: Dict[str, Any]) -> None:
+        """Reject a snapshot that does not match the declarations.
+
+        Every declared metric must be present and shaped correctly:
+        labelled metrics carry a dict of label-value -> number,
+        histograms carry the :meth:`Histogram.to_value` shape, plain
+        metrics carry a number.
+        """
+        for name in values:
+            if name not in self._specs:
+                raise MetricError(f"undeclared metric {name!r} in sample")
+        for spec in self._specs.values():
+            if spec.name not in values:
+                raise MetricError(f"sample is missing metric {spec.name!r}")
+            value = values[spec.name]
+            if spec.kind == "histogram":
+                if (not isinstance(value, dict)
+                        or set(value) != {"buckets", "sum", "count"}):
+                    raise MetricError(
+                        f"histogram {spec.name!r} must carry "
+                        f"buckets/sum/count, got {value!r}"
+                    )
+            elif spec.label is not None:
+                if not isinstance(value, dict) or not all(
+                        isinstance(v, (int, float)) for v in value.values()):
+                    raise MetricError(
+                        f"labelled metric {spec.name!r} must carry a "
+                        f"{{{spec.label}: number}} dict, got {value!r}"
+                    )
+            elif not isinstance(value, (int, float)):
+                raise MetricError(
+                    f"metric {spec.name!r} must carry a number, "
+                    f"got {value!r}"
+                )
+
+
+def flatten_values(registry: MetricsRegistry,
+                   values: Dict[str, Any]) -> Dict[str, float]:
+    """One flat ``{series key: number}`` view of a snapshot.
+
+    Labelled metrics flatten to ``name{label="value"}`` keys and
+    histograms to their ``_sum``/``_count`` series — the stable shape
+    the bench baseline stores and the drift comparison reads.
+    """
+    flat: Dict[str, float] = {}
+    for spec in registry.specs():
+        value = values[spec.name]
+        if spec.kind == "histogram":
+            flat[f"{spec.name}_sum"] = value["sum"]
+            flat[f"{spec.name}_count"] = value["count"]
+        elif spec.label is not None:
+            for label_value in sorted(value):
+                flat[f'{spec.name}{{{spec.label}="{label_value}"}}'] = (
+                    value[label_value]
+                )
+        else:
+            flat[spec.name] = value
+    return flat

@@ -1,0 +1,58 @@
+"""Terminal-summary helpers: sparklines and series extraction.
+
+The ``satr metrics`` summary view renders each cell's headline gauges
+as final/peak pairs plus a sparkline of the sampled series — enough to
+see *how sharing evolved* (the ramp at fork, the decay as unsharing
+eats the shared slots) without leaving the terminal.  Statistics reuse
+:mod:`repro.common.stats`.
+"""
+
+from typing import Any, Dict, List, Sequence
+
+from repro.common.stats import mean
+
+#: Eight-level block characters, lowest to highest.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """A block-character sketch of a numeric series.
+
+    Series longer than ``width`` are bucketed by mean so the sketch
+    stays terminal-sized; constant series render as a flat low line.
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if len(series) > width:
+        bucketed = []
+        for index in range(width):
+            start = index * len(series) // width
+            end = max((index + 1) * len(series) // width, start + 1)
+            bucketed.append(mean(series[start:end]))
+        series = bucketed
+    low = min(series)
+    span = max(series) - low
+    if span <= 0:
+        return _SPARK_BLOCKS[0] * len(series)
+    top = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[min(int((v - low) / span * top + 0.5), top)]
+        for v in series
+    )
+
+
+def series_of(samples: List[Dict[str, Any]], metric: str,
+              label_value: str = None) -> List[float]:
+    """One metric's sampled values, in sample order.
+
+    ``label_value`` selects one label's series from a labelled metric;
+    missing label values read as 0 (a cause that never fired yet).
+    """
+    series = []
+    for sample in samples:
+        value = sample["values"][metric]
+        if label_value is not None:
+            value = value.get(label_value, 0)
+        series.append(float(value))
+    return series

@@ -29,7 +29,10 @@ class Telemetry:
     wall_seconds: float = 0.0
     #: Optional progress sink; receives one line per finished cell.
     progress: Optional[Callable[[str], None]] = None
-    _batch_started: float = field(default=0.0, repr=False)
+    #: ``None`` means no batch is open — ``batch_finished`` must not
+    #: accrue wall time (``perf_counter() - 0.0`` would add the
+    #: machine's entire uptime on an unpaired call).
+    _batch_started: Optional[float] = field(default=None, repr=False)
 
     # -- recording ------------------------------------------------------
 
@@ -37,7 +40,10 @@ class Telemetry:
         self._batch_started = time.perf_counter()
 
     def batch_finished(self) -> None:
+        if self._batch_started is None:
+            return
         self.wall_seconds += time.perf_counter() - self._batch_started
+        self._batch_started = None
 
     def record(self, name: str, digest: str, elapsed: float,
                cached: bool, position: int, total: int) -> None:

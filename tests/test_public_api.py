@@ -29,10 +29,14 @@ PUBLIC_MODULES = [
     "repro.analysis", "repro.analysis.footprint",
     "repro.analysis.overlap", "repro.analysis.sparsity",
     "repro.experiments", "repro.experiments.ablations",
-    "repro.experiments.common", "repro.experiments.fork",
-    "repro.experiments.ipc", "repro.experiments.launch",
+    "repro.experiments.bench", "repro.experiments.common",
+    "repro.experiments.fork", "repro.experiments.ipc",
+    "repro.experiments.launch", "repro.experiments.metricscells",
     "repro.experiments.motivation", "repro.experiments.runner",
     "repro.experiments.steady",
+    "repro.metrics", "repro.metrics.registry", "repro.metrics.collect",
+    "repro.metrics.sampler", "repro.metrics.expose",
+    "repro.metrics.summary",
 ]
 
 
@@ -59,4 +63,4 @@ def test_package_exports_resolve():
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"

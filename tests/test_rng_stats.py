@@ -91,6 +91,13 @@ class TestStats:
         with pytest.raises(ValueError):
             percentile([], 0.5)
 
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1, 25.0, -1.0])
+    def test_percentile_fraction_out_of_range_raises(self, fraction):
+        """Fractions outside [0, 1] (e.g. a percentage passed by
+        mistake) must raise, not index past the ends of the data."""
+        with pytest.raises(ValueError, match=r"\[0\.0, 1\.0\]"):
+            percentile([1.0, 2.0, 3.0], fraction)
+
     def test_boxplot_five_numbers(self):
         box = boxplot([5, 1, 3, 2, 4])
         assert box.minimum == 1

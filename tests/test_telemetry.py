@@ -47,6 +47,23 @@ class TestAccounting:
         assert telemetry.wall_seconds >= 0.0
         assert len(telemetry.records) == 0
 
+    def test_batch_finished_without_start_is_a_no_op(self):
+        """Unpaired batch_finished() must not add perf_counter()-0.0
+        (effectively the process uptime) to the wall clock."""
+        telemetry = Telemetry()
+        telemetry.batch_finished()
+        assert telemetry.wall_seconds == 0.0
+
+    def test_batch_finished_closes_the_batch(self):
+        """A second batch_finished() after one paired batch must not
+        double-count: the first close consumes the start mark."""
+        telemetry = Telemetry()
+        telemetry.batch_started()
+        telemetry.batch_finished()
+        wall = telemetry.wall_seconds
+        telemetry.batch_finished()
+        assert telemetry.wall_seconds == wall
+
 
 class TestRendering:
     def test_summary_mentions_all_buckets(self):

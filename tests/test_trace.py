@@ -272,6 +272,17 @@ class TestAggregation:
         with pytest.raises(ValueError):
             time_histogram([], buckets=0)
 
+    def test_time_histogram_single_event_stream(self):
+        """A one-event span has zero width: the unit-width fallback
+        must put the event in the first bucket, not divide by zero."""
+        only = [TraceEvent(0, 5.0, EventType.PAGE_FAULT, pid=1,
+                           vaddr=0x1000, cause="translation")]
+        histogram = time_histogram(only, buckets=4)
+        assert histogram["start"] == histogram["end"] == 5.0
+        assert histogram["bucket_width"] == 1.0
+        assert histogram["counts"] == [1, 0, 0, 0]
+        assert sum(histogram["counts"]) == 1
+
     def test_ptp_region_geography(self):
         assert ptp_region(0x100) == "code/file"
         assert ptp_region(0x9000_0000 >> 21) == "anon"
@@ -291,6 +302,22 @@ class TestAggregation:
         assert [o["ptp"] for o in offenders] == [7, 3]
         assert offenders[0]["unshares"] == 2
         assert offenders[0]["triggers"] == {"write": 1, "exit": 1}
+
+    def test_top_unshare_offenders_empty_stream(self):
+        assert top_unshare_offenders([]) == []
+        # A stream with no PTP_UNSHARE events is as good as empty.
+        assert top_unshare_offenders(
+            [TraceEvent(0, 0.0, EventType.FORK, pid=1)]) == []
+
+    def test_top_unshare_offenders_single_event_stream(self):
+        only = [TraceEvent(0, 0.0, EventType.PTP_UNSHARE, pid=1, ptp=7,
+                           cause="write")]
+        offenders = top_unshare_offenders(only)
+        assert len(offenders) == 1
+        assert offenders[0]["ptp"] == 7
+        assert offenders[0]["unshares"] == 1
+        assert offenders[0]["triggers"] == {"write": 1}
+        assert offenders[0]["region"] == ptp_region(7)
 
 
 @pytest.mark.slow
