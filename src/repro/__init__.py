@@ -13,7 +13,7 @@ Layering (bottom-up):
 * :mod:`repro.experiments` — one driver per paper table/figure
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.kernel.config import (
     ForkPolicy,

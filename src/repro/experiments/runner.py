@@ -42,6 +42,19 @@ The ``bench`` subcommand regenerates the metrics-overhead baseline
 
     satr bench --scale quick
     satr bench --compare BENCH_metrics.json   # non-zero exit on regression
+
+The ``serve`` subcommand runs the long-lived scenario daemon: scenario
+requests over HTTP, the result cache as a shared memoization layer
+across clients, streamed per-cell progress, live ``/metrics``::
+
+    satr serve --port 8080 --workers 2
+    satr serve --port 0 --port-file /tmp/satr.port   # ephemeral port
+
+The ``loadgen`` subcommand drives a running server and reports
+p50/p95/p99 latency and throughput (``BENCH_serve.json`` baseline)::
+
+    satr loadgen --url http://127.0.0.1:8080 --targets fork,ipc \\
+        --concurrency 4 --requests 40 -o BENCH_serve.json
 """
 
 import argparse
@@ -521,6 +534,144 @@ def bench_main(argv) -> int:
     return 0
 
 
+def serve_main(argv) -> int:
+    """The ``satr serve`` subcommand: the long-lived scenario daemon."""
+    import signal
+    import threading
+
+    from repro.serve.app import ServeApp, make_server
+    from repro.serve.model import SERVE_TARGETS
+
+    parser = argparse.ArgumentParser(
+        prog="satr serve",
+        description=("Serve scenario requests over HTTP: POST /run "
+                     f"(target in {{{', '.join(SERVE_TARGETS)}}}, "
+                     "scale, seed), GET /runs[/<id>[/events|/report]], "
+                     "GET /metrics, GET /healthz.  The result cache "
+                     "memoizes across clients; identical in-flight "
+                     "requests coalesce; SIGTERM drains gracefully."),
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="TCP port; 0 picks an ephemeral port "
+                             "(default: 8080)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker threads executing runs (default: 2)")
+    parser.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                        help="max queued runs before 503 (default: 64)")
+    parser.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write the bound port here once listening "
+                             "(handy with --port 0)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log each HTTP request to stderr")
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.queue_limit < 1:
+        parser.error("--queue-limit must be >= 1")
+    if args.port < 0:
+        parser.error("--port must be >= 0")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    app = ServeApp(cache=cache, workers=args.workers,
+                   queue_limit=args.queue_limit)
+    server = make_server(args.host, args.port, app, verbose=args.verbose)
+    print(f"[satr] serve: listening on http://{args.host}:{server.port} "
+          f"({args.workers} worker(s), cache "
+          f"{'off' if cache is None else cache.root})",
+          file=sys.stderr, flush=True)
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{server.port}\n")
+
+    def _graceful_stop(signum, frame) -> None:
+        # Refuse new work immediately; finish accepted runs off-thread
+        # (shutdown() would deadlock if called from the handler while
+        # serve_forever runs on this same thread).
+        app.begin_drain()
+        print("[satr] serve: draining...", file=sys.stderr, flush=True)
+        threading.Thread(target=_drain_and_shutdown, daemon=True).start()
+
+    def _drain_and_shutdown() -> None:
+        app.drain()
+        server.shutdown()
+
+    signal.signal(signal.SIGTERM, _graceful_stop)
+    signal.signal(signal.SIGINT, _graceful_stop)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    print("[satr] serve: drained; bye", file=sys.stderr, flush=True)
+    return 0
+
+
+def loadgen_main(argv) -> int:
+    """The ``satr loadgen`` subcommand: latency/throughput client."""
+    from repro.serve import loadgen
+    from repro.serve.model import DEFAULT_SCALE, SERVE_TARGETS
+
+    parser = argparse.ArgumentParser(
+        prog="satr loadgen",
+        description=("Drive a running `satr serve` with concurrent "
+                     "scenario requests and report p50/p95/p99 latency "
+                     "and throughput (the BENCH_serve.json baseline)."),
+    )
+    parser.add_argument("--url", required=True,
+                        help="server base URL, e.g. http://127.0.0.1:8080")
+    parser.add_argument("--targets", default="fork",
+                        help="comma-separated targets to request "
+                             f"(default: fork; choose from "
+                             f"{', '.join(SERVE_TARGETS)})")
+    parser.add_argument("--scale", default=DEFAULT_SCALE,
+                        choices=sorted(SCALES))
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--concurrency", type=int, default=4, metavar="N",
+                        help="concurrent client workers (default: 4)")
+    parser.add_argument("--requests", type=int, default=None, metavar="N",
+                        help="total measured requests (default: 20 "
+                             "unless --duration is given)")
+    parser.add_argument("--duration", type=float, default=None,
+                        metavar="SECONDS",
+                        help="measured wall-clock budget instead of a "
+                             "request count")
+    parser.add_argument("--no-warmup", action="store_true",
+                        help="skip the one-request-per-target cache "
+                             "warm-up pass")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="per-request timeout (default: 600)")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the JSON report here "
+                             "(e.g. BENCH_serve.json)")
+    args = parser.parse_args(argv)
+    if args.concurrency < 1:
+        parser.error("--concurrency must be >= 1")
+    if args.requests is not None and args.requests < 1:
+        parser.error("--requests must be >= 1")
+    if args.duration is not None and args.duration <= 0:
+        parser.error("--duration must be > 0")
+    targets = [t for t in args.targets.split(",") if t]
+    unknown = sorted(set(targets) - set(SERVE_TARGETS))
+    if unknown:
+        parser.error(f"unknown target(s) {', '.join(unknown)}; choose "
+                     f"from {', '.join(SERVE_TARGETS)}")
+
+    report = loadgen.run_loadgen(
+        args.url, targets, scale=args.scale, seed=args.seed,
+        concurrency=args.concurrency, requests=args.requests,
+        duration_s=args.duration, warmup=not args.no_warmup,
+        timeout_s=args.timeout)
+    print(loadgen.render_loadgen_report(report))
+    if args.output:
+        loadgen.write_report(report, args.output)
+        print(f"[satr] loadgen report -> {args.output}", file=sys.stderr)
+    return 0 if report["errors"] == 0 else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
@@ -533,6 +684,10 @@ def main(argv=None) -> int:
         return metrics_main(argv[1:])
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return loadgen_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="satr",
         description=("Shared Address Translation Revisited (EuroSys'16) — "
@@ -541,8 +696,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        help=("one of: all, trace, check, metrics, bench, "
-              f"{', '.join(sorted(TARGETS))}"),
+        help=("one of: all, trace, check, metrics, bench, serve, "
+              f"loadgen, {', '.join(sorted(TARGETS))}"),
     )
     parser.add_argument(
         "--scale", default="default", choices=sorted(SCALES),

@@ -23,7 +23,14 @@ from repro.metrics.collect import (
     collect,
     default_registry,
 )
-from repro.metrics.expose import jsonl_lines, parse_exposition, to_prometheus
+from repro.metrics.expose import (
+    PROMETHEUS_CONTENT_TYPE,
+    escape_label_value,
+    jsonl_lines,
+    parse_exposition,
+    render_exposition,
+    to_prometheus,
+)
 from repro.metrics.registry import (
     Histogram,
     MetricError,
@@ -52,13 +59,16 @@ __all__ = [
     "NullSampler",
     "PAGETABLE_BYTES_BOUNDS",
     "PGD_BYTES",
+    "PROMETHEUS_CONTENT_TYPE",
     "Sampler",
     "collect",
     "default_registry",
+    "escape_label_value",
     "flatten_values",
     "format_number",
     "jsonl_lines",
     "parse_exposition",
+    "render_exposition",
     "series_of",
     "sparkline",
     "to_prometheus",

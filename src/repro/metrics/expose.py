@@ -34,15 +34,63 @@ from repro.metrics.registry import (
 #: Histogram series suffixes (the only compound names the format uses).
 _HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
 
+#: The Prometheus text-format content type a scrape endpoint must send.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 _SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
     r'(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$'
 )
-_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec.
+
+    Backslash, double quote and newline are the three characters the
+    text format requires escaping (in that order — escaping the
+    escapes first keeps the mapping reversible).
+    """
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (the parse side)."""
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append("\n" if nxt == "n" else nxt)
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
 
 
 def _render_labels(pairs: List[Tuple[str, str]]) -> str:
-    return ",".join(f'{key}="{value}"' for key, value in pairs)
+    return ",".join(f'{key}="{escape_label_value(value)}"'
+                    for key, value in pairs)
+
+
+def _histogram_lines(name: str, base: List[Tuple[str, str]],
+                     value: Dict[str, Any]) -> List[str]:
+    """The ``_bucket``/``_sum``/``_count`` series of one histogram value."""
+    lines: List[str] = []
+    bounds = sorted(
+        value["buckets"],
+        key=lambda b: (b == "+Inf", float(b) if b != "+Inf" else 0.0),
+    )
+    for bound in bounds:
+        labels = _render_labels(base + [("le", bound)])
+        lines.append(f"{name}_bucket{{{labels}}} {value['buckets'][bound]}")
+    labels = _render_labels(base)
+    lines.append(f"{name}_sum{{{labels}}} {format_number(value['sum'])}")
+    lines.append(f"{name}_count{{{labels}}} {value['count']}")
+    return lines
 
 
 def to_prometheus(registry: MetricsRegistry, target: str,
@@ -62,25 +110,7 @@ def to_prometheus(registry: MetricsRegistry, target: str,
             base = [("target", target), ("config", payload["config"])]
             value = payload["samples"][-1]["values"][spec.name]
             if spec.kind == "histogram":
-                bounds = sorted(
-                    value["buckets"],
-                    key=lambda b: (b == "+Inf", float(b) if b != "+Inf"
-                                   else 0.0),
-                )
-                for bound in bounds:
-                    count = value["buckets"][bound]
-                    labels = _render_labels(base + [("le", bound)])
-                    lines.append(
-                        f"{spec.name}_bucket{{{labels}}} {count}"
-                    )
-                labels = _render_labels(base)
-                lines.append(
-                    f"{spec.name}_sum{{{labels}}} "
-                    f"{format_number(value['sum'])}"
-                )
-                lines.append(
-                    f"{spec.name}_count{{{labels}}} {value['count']}"
-                )
+                lines.extend(_histogram_lines(spec.name, base, value))
             elif spec.label is not None:
                 for label_value in sorted(value):
                     labels = _render_labels(
@@ -95,6 +125,39 @@ def to_prometheus(registry: MetricsRegistry, target: str,
                 lines.append(
                     f"{spec.name}{{{labels}}} {format_number(value)}"
                 )
+    return "\n".join(lines) + "\n"
+
+
+def render_exposition(registry: MetricsRegistry,
+                      values: Dict[str, Any]) -> str:
+    """The Prometheus text exposition of one validated snapshot.
+
+    The generic sibling of :func:`to_prometheus`: it renders any
+    snapshot that validates against ``registry`` — plain and labelled
+    counters/gauges, plain and labelled histograms — with one
+    HELP/TYPE header per metric and escaped label values.  The ``satr
+    serve`` ``/metrics`` endpoint is the main caller.
+    """
+    registry.validate(values)
+    lines: List[str] = []
+    for spec in registry.specs():
+        lines.append(f"# HELP {spec.name} {spec.help}")
+        lines.append(f"# TYPE {spec.name} {spec.kind}")
+        value = values[spec.name]
+        if spec.kind == "histogram" and spec.label is not None:
+            for label_value in sorted(value):
+                lines.extend(_histogram_lines(
+                    spec.name, [(spec.label, label_value)],
+                    value[label_value]))
+        elif spec.kind == "histogram":
+            lines.extend(_histogram_lines(spec.name, [], value))
+        elif spec.label is not None:
+            for label_value in sorted(value):
+                labels = _render_labels([(spec.label, label_value)])
+                lines.append(f"{spec.name}{{{labels}}} "
+                             f"{format_number(value[label_value])}")
+        else:
+            lines.append(f"{spec.name} {format_number(value)}")
     return "\n".join(lines) + "\n"
 
 
@@ -146,7 +209,9 @@ def parse_exposition(text: str) -> Dict[str, Any]:
                 f"line {number}: sample {series!r} has no preceding "
                 f"# TYPE declaration"
             )
-        labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+        labels = {key: _unescape_label_value(value)
+                  for key, value in
+                  _LABEL_RE.findall(match.group("labels") or "")}
         try:
             value = float(match.group("value"))
         except ValueError:

@@ -20,7 +20,9 @@ Three metric kinds, matching the Prometheus data model:
 
 Labelled metrics carry exactly one label key (e.g. ``cause`` on the
 unshare counter); their sampled value is a ``{label value: number}``
-dict.  Unlabelled metrics sample a plain number.
+dict.  Unlabelled metrics sample a plain number.  A labelled histogram
+(e.g. the ``satr serve`` per-target latency distribution) samples a
+``{label value: histogram value}`` dict, one bucket set per label.
 """
 
 from dataclasses import dataclass
@@ -51,10 +53,6 @@ class MetricSpec:
             raise MetricError(
                 f"metric {self.name!r}: unknown kind {self.kind!r} "
                 f"(choose from {METRIC_KINDS})"
-            )
-        if self.kind == "histogram" and self.label is not None:
-            raise MetricError(
-                f"metric {self.name!r}: histograms take no extra label"
             )
 
 
@@ -154,9 +152,16 @@ class MetricsRegistry:
             if spec.name not in values:
                 raise MetricError(f"sample is missing metric {spec.name!r}")
             value = values[spec.name]
-            if spec.kind == "histogram":
-                if (not isinstance(value, dict)
-                        or set(value) != {"buckets", "sum", "count"}):
+            if spec.kind == "histogram" and spec.label is not None:
+                if not isinstance(value, dict) or not all(
+                        _is_histogram_value(v) for v in value.values()):
+                    raise MetricError(
+                        f"labelled histogram {spec.name!r} must carry a "
+                        f"{{{spec.label}: buckets/sum/count}} dict, "
+                        f"got {value!r}"
+                    )
+            elif spec.kind == "histogram":
+                if not _is_histogram_value(value):
                     raise MetricError(
                         f"histogram {spec.name!r} must carry "
                         f"buckets/sum/count, got {value!r}"
@@ -175,6 +180,12 @@ class MetricsRegistry:
                 )
 
 
+def _is_histogram_value(value: Any) -> bool:
+    """True for the :meth:`Histogram.to_value` shape."""
+    return isinstance(value, dict) and set(value) == {"buckets", "sum",
+                                                      "count"}
+
+
 def flatten_values(registry: MetricsRegistry,
                    values: Dict[str, Any]) -> Dict[str, float]:
     """One flat ``{series key: number}`` view of a snapshot.
@@ -186,7 +197,12 @@ def flatten_values(registry: MetricsRegistry,
     flat: Dict[str, float] = {}
     for spec in registry.specs():
         value = values[spec.name]
-        if spec.kind == "histogram":
+        if spec.kind == "histogram" and spec.label is not None:
+            for label_value in sorted(value):
+                series = f'{spec.name}{{{spec.label}="{label_value}"}}'
+                flat[f"{series}_sum"] = value[label_value]["sum"]
+                flat[f"{series}_count"] = value[label_value]["count"]
+        elif spec.kind == "histogram":
             flat[f"{spec.name}_sum"] = value["sum"]
             flat[f"{spec.name}_count"] = value["count"]
         elif spec.label is not None:

@@ -24,6 +24,7 @@ from repro.orchestrate.cache import (
     ResultCache,
     default_cache_dir,
 )
+from repro.orchestrate.coalesce import CoalesceError, InflightCoalescer
 from repro.orchestrate.cells import (
     Cell,
     canonical_json,
@@ -40,6 +41,8 @@ __all__ = [
     "CACHE_DIR_ENV",
     "Cell",
     "CellRecord",
+    "CoalesceError",
+    "InflightCoalescer",
     "Orchestrator",
     "ResultCache",
     "Telemetry",

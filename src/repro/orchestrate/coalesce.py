@@ -1,0 +1,89 @@
+"""In-flight cell coalescing: one execution per digest across threads.
+
+The result cache deduplicates work across *time* (a finished cell is
+never recomputed); the coalescer deduplicates across *concurrency*.
+When several orchestrators share one :class:`InflightCoalescer` — the
+``satr serve`` worker pool is the motivating case — threads race to
+claim each cache-missing digest.  The winner (the **leader**) computes
+the cell, stores it, and publishes the payload; every other thread
+(the **followers**) blocks in :meth:`wait` and receives the leader's
+result without re-executing.  Because cells are deterministic and
+payloads canonical JSON, a coalesced payload is indistinguishable from
+a computed or cached one — the byte-identity contract is preserved.
+
+The leader's orchestrator is responsible for publishing every digest it
+claimed, success or failure; :meth:`abandon` resolves a claim with an
+error so followers surface a :class:`CoalesceError` instead of hanging.
+"""
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+
+class CoalesceError(RuntimeError):
+    """The leader for a coalesced cell failed (or timed out)."""
+
+
+class _Entry:
+    """One in-flight digest: the event followers wait on."""
+
+    __slots__ = ("event", "payload", "elapsed", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: Any = None
+        self.elapsed = 0.0
+        self.error: Optional[str] = None
+
+
+class InflightCoalescer:
+    """Digest-keyed single-flight table shared by concurrent orchestrators."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _Entry] = {}
+        #: Executions avoided: how many joins found a leader in flight.
+        self.coalesced_total = 0
+
+    def join(self, digest: str) -> Tuple[bool, _Entry]:
+        """Claim a digest or join its in-flight execution.
+
+        Returns ``(is_leader, entry)``.  The leader must eventually
+        :meth:`publish` or :meth:`abandon` the digest; a follower passes
+        its entry to :meth:`wait`.
+        """
+        with self._lock:
+            entry = self._inflight.get(digest)
+            if entry is not None:
+                self.coalesced_total += 1
+                return False, entry
+            entry = _Entry()
+            self._inflight[digest] = entry
+            return True, entry
+
+    def publish(self, digest: str, payload: Any, elapsed: float) -> None:
+        """Resolve a claimed digest with the leader's result."""
+        with self._lock:
+            entry = self._inflight.pop(digest, None)
+        if entry is not None:
+            entry.payload = payload
+            entry.elapsed = elapsed
+            entry.event.set()
+
+    def abandon(self, digest: str, reason: str) -> None:
+        """Resolve a claimed digest as failed (followers raise)."""
+        with self._lock:
+            entry = self._inflight.pop(digest, None)
+        if entry is not None:
+            entry.error = reason
+            entry.event.set()
+
+    @staticmethod
+    def wait(entry: _Entry,
+             timeout: Optional[float] = None) -> Tuple[Any, float]:
+        """Block until the leader resolves; returns (payload, elapsed)."""
+        if not entry.event.wait(timeout):
+            raise CoalesceError("timed out waiting for the in-flight leader")
+        if entry.error is not None:
+            raise CoalesceError(f"coalesced execution failed: {entry.error}")
+        return entry.payload, entry.elapsed

@@ -17,6 +17,7 @@ from typing import Any, List, Optional
 
 from repro.orchestrate.cache import ResultCache
 from repro.orchestrate.cells import Cell
+from repro.orchestrate.coalesce import InflightCoalescer
 from repro.orchestrate.executor import run_parallel, run_serial
 from repro.orchestrate.telemetry import Telemetry
 
@@ -28,16 +29,23 @@ class Orchestrator:
     ``cache``    — a :class:`ResultCache`, or None to disable caching.
     ``telemetry``— shared across ``run`` calls, so one ``satr all``
                    invocation reports a single hit/miss/wall summary.
+    ``coalescer``— an :class:`InflightCoalescer` shared with other
+                   orchestrators in the same process (the ``satr
+                   serve`` worker pool): cache-missing digests already
+                   executing elsewhere are awaited instead of
+                   recomputed.
     """
 
     def __init__(self, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 coalescer: Optional[InflightCoalescer] = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.coalescer = coalescer
 
     def run(self, cells: List[Cell]) -> List[Any]:
         """Execute (or replay) every cell; payloads in cell order."""
@@ -48,6 +56,7 @@ class Orchestrator:
         digests = [cell.digest() for cell in cells]
 
         misses = []
+        followers = []  # (index, in-flight entry) awaiting another leader.
         for index, cell in enumerate(cells):
             record = self.cache.load(digests[index]) if self.cache else None
             if record is not None:
@@ -56,22 +65,54 @@ class Orchestrator:
                                  float(record.get("elapsed", 0.0)),
                                  cached=True, position=index + 1,
                                  total=total)
+            elif self.coalescer is not None:
+                leader, entry = self.coalescer.join(digests[index])
+                if leader:
+                    misses.append((index, cell.to_dict()))
+                else:
+                    followers.append((index, entry))
             else:
                 misses.append((index, cell.to_dict()))
 
         if misses:
-            if self.jobs > 1:
-                runs = run_parallel(misses, self.jobs)
-            else:
-                runs = run_serial(misses)
-            for index, payload, elapsed in runs:
-                payloads[index] = payload
-                if self.cache is not None:
-                    self.cache.store(digests[index], cells[index].to_dict(),
-                                     payload, elapsed)
-                telemetry.record(cells[index].name, digests[index], elapsed,
-                                 cached=False, position=index + 1,
-                                 total=total)
+            claimed = {digests[index] for index, _ in misses}
+            try:
+                if self.jobs > 1:
+                    runs = run_parallel(misses, self.jobs)
+                else:
+                    runs = run_serial(misses)
+                for index, payload, elapsed in runs:
+                    payloads[index] = payload
+                    if self.cache is not None:
+                        self.cache.store(digests[index],
+                                         cells[index].to_dict(),
+                                         payload, elapsed)
+                    if self.coalescer is not None:
+                        self.coalescer.publish(digests[index], payload,
+                                               elapsed)
+                        claimed.discard(digests[index])
+                    telemetry.record(cells[index].name, digests[index],
+                                     elapsed, cached=False,
+                                     position=index + 1, total=total)
+            finally:
+                # A cell exception must not strand followers on other
+                # threads: resolve every unpublished claim as failed.
+                if self.coalescer is not None:
+                    for digest in claimed:
+                        self.coalescer.abandon(digest, "leader failed")
+
+        # Leaders published above, before any wait here, so two runs
+        # leading each other's followers can never deadlock.
+        for index, entry in followers:
+            payload, elapsed = InflightCoalescer.wait(entry)
+            payloads[index] = payload
+            if self.cache is not None:
+                # The leader stored under *its* cache; keep ours warm too
+                # (byte-identical record, so a shared root is idempotent).
+                self.cache.store(digests[index], cells[index].to_dict(),
+                                 payload, elapsed)
+            telemetry.record(cells[index].name, digests[index], elapsed,
+                             cached=True, position=index + 1, total=total)
 
         telemetry.batch_finished()
         return payloads

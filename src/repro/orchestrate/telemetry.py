@@ -29,6 +29,9 @@ class Telemetry:
     wall_seconds: float = 0.0
     #: Optional progress sink; receives one line per finished cell.
     progress: Optional[Callable[[str], None]] = None
+    #: Optional structured sink; receives ``(record, position, total)``
+    #: per finished cell — the ``satr serve`` event stream hangs off it.
+    observer: Optional[Callable[["CellRecord", int, int], None]] = None
     #: ``None`` means no batch is open — ``batch_finished`` must not
     #: accrue wall time (``perf_counter() - 0.0`` would add the
     #: machine's entire uptime on an unpaired call).
@@ -48,10 +51,13 @@ class Telemetry:
     def record(self, name: str, digest: str, elapsed: float,
                cached: bool, position: int, total: int) -> None:
         """Note one finished cell and emit a progress line."""
-        self.records.append(CellRecord(name, digest, elapsed, cached))
+        record = CellRecord(name, digest, elapsed, cached)
+        self.records.append(record)
         if self.progress is not None:
             status = "cache hit" if cached else f"{elapsed:.2f}s"
             self.progress(f"[cell {position}/{total}] {name}: {status}")
+        if self.observer is not None:
+            self.observer(record, position, total)
 
     # -- derived views --------------------------------------------------
 

@@ -21,6 +21,7 @@ from repro.experiments.metricscells import run_metrics
 from repro.hw.tlb import MainTlb, MicroTlb, TlbEntry
 from repro.metrics import (
     NULL_SAMPLER,
+    PROMETHEUS_CONTENT_TYPE,
     Histogram,
     MetricError,
     MetricSpec,
@@ -29,9 +30,11 @@ from repro.metrics import (
     Sampler,
     collect,
     default_registry,
+    escape_label_value,
     flatten_values,
     format_number,
     parse_exposition,
+    render_exposition,
     to_prometheus,
 )
 from repro.metrics.summary import series_of, sparkline
@@ -58,9 +61,20 @@ class TestRegistry:
         with pytest.raises(MetricError):
             MetricSpec("m", "summary", "nope")
 
-    def test_histogram_takes_no_label(self):
-        with pytest.raises(MetricError):
-            MetricSpec("m", "histogram", "nope", label="kind")
+    def test_labelled_histogram_validates_per_label_buckets(self):
+        """A labelled histogram (the serve per-target latency shape)
+        carries one Histogram value per label value."""
+        registry = MetricsRegistry([
+            MetricSpec("lat", "histogram", "h", label="target"),
+        ])
+        good = Histogram([1.0])
+        good.observe(0.5)
+        registry.validate({"lat": {"fork": good.to_value()}})
+        registry.validate({"lat": {}})  # No observations yet is fine.
+        for bad in (3, good.to_value(), {"fork": {"sum": 1}},
+                    {"fork": 2.0}):
+            with pytest.raises(MetricError, match="labelled histogram"):
+                registry.validate({"lat": bad})
 
     def test_duplicate_name_rejected(self):
         spec = MetricSpec("m", "gauge", "twice")
@@ -129,6 +143,20 @@ class TestRegistry:
             'tagged{kind="b"}': 2,
             "dist_sum": 0.5,
             "dist_count": 1,
+        }
+
+    def test_flatten_values_labelled_histogram(self):
+        registry = MetricsRegistry([
+            MetricSpec("lat", "histogram", "h", label="target"),
+        ])
+        histogram = Histogram([1.0])
+        histogram.observe(0.5)
+        histogram.observe(2.0)
+        flat = flatten_values(registry, {"lat": {"fork":
+                                                 histogram.to_value()}})
+        assert flat == {
+            'lat{target="fork"}_sum': 2.5,
+            'lat{target="fork"}_count': 2,
         }
 
 
@@ -343,6 +371,87 @@ class TestExposition:
         assert series_of(samples, "m") == [1, 3]
         assert series_of(samples, "t", "a") == [2, 4]
         assert series_of(samples, "t", "zzz") == [0, 0]
+
+
+# ---------------------------------------------------------------------------
+# Generic snapshot rendering + label escaping (the serve /metrics path).
+# ---------------------------------------------------------------------------
+
+class TestRenderExposition:
+    def _registry(self):
+        return MetricsRegistry([
+            MetricSpec("plain_total", "counter", "plain counter"),
+            MetricSpec("tagged_total", "counter", "labelled counter",
+                       label="kind"),
+            MetricSpec("level", "gauge", "plain gauge"),
+            MetricSpec("lat_seconds", "histogram", "labelled histogram",
+                       label="target"),
+        ])
+
+    def _values(self):
+        histogram = Histogram([0.1, 1.0])
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        return {
+            "plain_total": 3,
+            "tagged_total": {"a": 1, "b": 2},
+            "level": 0.25,
+            "lat_seconds": {"fork": histogram.to_value()},
+        }
+
+    def test_content_type_is_prometheus_text(self):
+        assert PROMETHEUS_CONTENT_TYPE == (
+            "text/plain; version=0.0.4; charset=utf-8")
+
+    def test_round_trip_with_type_coverage(self):
+        registry = self._registry()
+        text = render_exposition(registry, self._values())
+        parsed = parse_exposition(text)
+        assert parsed["types"] == {spec.name: spec.kind
+                                   for spec in registry.specs()}
+        by_series = {(s["series"], tuple(sorted(s["labels"].items()))):
+                     s["value"] for s in parsed["samples"]}
+        assert by_series[("plain_total", ())] == 3
+        assert by_series[("tagged_total", (("kind", "b"),))] == 2
+        assert by_series[("level", ())] == 0.25
+        assert by_series[("lat_seconds_count",
+                          (("target", "fork"),))] == 2
+        assert by_series[("lat_seconds_bucket",
+                          (("le", "0.1"), ("target", "fork")))] == 1
+        assert by_series[("lat_seconds_bucket",
+                          (("le", "+Inf"), ("target", "fork")))] == 2
+
+    def test_unlabelled_series_render_without_braces(self):
+        lines = render_exposition(self._registry(),
+                                  self._values()).splitlines()
+        assert "plain_total 3" in lines
+        assert "level 0.25" in lines
+
+    def test_rejects_invalid_snapshot(self):
+        with pytest.raises(MetricError):
+            render_exposition(self._registry(),
+                              {"plain_total": "not a number"})
+
+    def test_escape_label_value_order_is_reversible(self):
+        hostile = 'back\\slash "quoted"\nnewline'
+        escaped = escape_label_value(hostile)
+        assert escaped == 'back\\\\slash \\"quoted\\"\\nnewline'
+        assert "\n" not in escaped
+
+    def test_hostile_label_values_round_trip(self):
+        """A label value carrying the three special characters must
+        render to a parseable line and parse back verbatim."""
+        registry = MetricsRegistry([
+            MetricSpec("tagged_total", "counter", "h", label="kind"),
+        ])
+        hostile = 'a\\b "c"\nd'
+        text = render_exposition(registry,
+                                 {"tagged_total": {hostile: 5}})
+        assert len(text.splitlines()) == 3  # HELP, TYPE, one sample.
+        parsed = parse_exposition(text)
+        (sample,) = parsed["samples"]
+        assert sample["labels"]["kind"] == hostile
+        assert sample["value"] == 5
 
 
 # ---------------------------------------------------------------------------

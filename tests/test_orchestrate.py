@@ -6,6 +6,8 @@ the same cell list produce byte-identical rendered reports.
 
 import json
 import os
+import threading
+import time
 
 import pytest
 
@@ -20,6 +22,8 @@ from repro.experiments.runner import RunContext, plan_target, run_target
 from repro.kernel.counters import Counters
 from repro.orchestrate import (
     Cell,
+    CoalesceError,
+    InflightCoalescer,
     Orchestrator,
     ResultCache,
     Telemetry,
@@ -45,6 +49,34 @@ def tiny_cell(value: int = 1) -> Cell:
 def echo_cell(params):
     """Module-level so spawn workers and resolve_cell_fn can find it."""
     return {"value": params["value"], "doubled": params["value"] * 2}
+
+
+# Gates for the coalescing tests: hold a leader mid-execution so a
+# second orchestrator provably joins the in-flight digest.
+_COALESCE_GATE = threading.Event()
+_COALESCE_STARTED = threading.Event()
+_COALESCE_RUNS = []
+
+
+def gated_echo_cell(params):
+    _COALESCE_STARTED.set()
+    if not _COALESCE_GATE.wait(timeout=30):
+        raise RuntimeError("coalesce gate never released")
+    _COALESCE_RUNS.append(params["value"])
+    return {"value": params["value"]}
+
+
+def gated_failing_cell(params):
+    _COALESCE_STARTED.set()
+    if not _COALESCE_GATE.wait(timeout=30):
+        raise RuntimeError("coalesce gate never released")
+    raise RuntimeError("deliberate leader failure")
+
+
+def _gated_cell(fn_name, value=1):
+    return Cell(experiment="gated", cell_id=f"v{value}",
+                fn=f"tests.test_orchestrate:{fn_name}",
+                params={"value": value})
 
 
 class TestCellBasics:
@@ -159,6 +191,148 @@ class TestOrchestrator:
         assert len(lines) == 2 and "[cell 1/2]" in lines[0]
         summary = telemetry.summary()
         assert "2 cells" in summary and "2 misses" in summary
+
+    def test_telemetry_observer_sees_every_cell(self):
+        observed = []
+        telemetry = Telemetry(
+            observer=lambda record, position, total:
+                observed.append((record.name, record.cached,
+                                 position, total)))
+        Orchestrator(telemetry=telemetry).run([tiny_cell(1), tiny_cell(2)])
+        assert observed == [("echo/v1", False, 1, 2),
+                            ("echo/v2", False, 2, 2)]
+
+
+class TestResultCacheCrashSafety:
+    """Torn writes and stale temp files must degrade to cache misses."""
+
+    def test_partial_artifact_is_ignored_and_overwritten(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell = tiny_cell(6)
+        Orchestrator(cache=cache).run([cell])
+        artifact = cache.path(cell.digest())
+        complete = open(artifact).read()
+        # Simulate a crash mid-write landing a truncated document at
+        # the final path (the pre-atomic-rename failure mode).
+        with open(artifact, "w") as handle:
+            handle.write(complete[:len(complete) // 2])
+        assert cache.load(cell.digest()) is None
+        orch = Orchestrator(cache=cache)
+        assert orch.run([cell])[0]["doubled"] == 12
+        assert orch.telemetry.misses == 1
+        # The recompute overwrote the torn artifact with a whole one.
+        assert cache.load(cell.digest())["payload"]["doubled"] == 12
+
+    def test_leftover_tmp_file_is_harmless(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell = tiny_cell(2)
+        digest = cell.digest()
+        shard = tmp_path / digest[:2]
+        shard.mkdir()
+        (shard / "deadbeef.tmp").write_text("{\"payload\": trunc")
+        Orchestrator(cache=cache).run([cell])
+        assert cache.load(digest)["payload"]["value"] == 2
+        # The stale temp file is still there, still ignored.
+        assert (shard / "deadbeef.tmp").exists()
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cells = [tiny_cell(v) for v in range(5)]
+        Orchestrator(cache=cache).run(cells)
+        leftovers = [name for _, _, names in os.walk(tmp_path)
+                     for name in names if name.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestInflightCoalescer:
+    def test_leader_publishes_to_followers(self):
+        coalescer = InflightCoalescer()
+        leader, entry = coalescer.join("d1")
+        assert leader
+        follower, same = coalescer.join("d1")
+        assert not follower and same is entry
+        assert coalescer.coalesced_total == 1
+        coalescer.publish("d1", {"x": 1}, 0.25)
+        assert InflightCoalescer.wait(same) == ({"x": 1}, 0.25)
+        # The digest is no longer in flight: the next join leads again.
+        assert coalescer.join("d1")[0]
+
+    def test_abandon_raises_for_followers(self):
+        coalescer = InflightCoalescer()
+        coalescer.join("d2")
+        _, entry = coalescer.join("d2")
+        coalescer.abandon("d2", "leader failed")
+        with pytest.raises(CoalesceError, match="leader failed"):
+            InflightCoalescer.wait(entry)
+
+    def test_wait_timeout(self):
+        coalescer = InflightCoalescer()
+        _, entry = coalescer.join("d3")
+        with pytest.raises(CoalesceError, match="timed out"):
+            InflightCoalescer.wait(entry, timeout=0.01)
+
+
+class TestOrchestratorCoalescing:
+    """Two orchestrators sharing a coalescer execute each cell once."""
+
+    def _run_pair(self, cell, cache):
+        _COALESCE_GATE.clear()
+        _COALESCE_STARTED.clear()
+        del _COALESCE_RUNS[:]
+        coalescer = InflightCoalescer()
+        outcomes = {}
+
+        def run_one(name):
+            orchestrator = Orchestrator(cache=cache, coalescer=coalescer)
+            try:
+                payloads = orchestrator.run([cell])
+                outcomes[name] = ("ok", payloads[0],
+                                  orchestrator.telemetry.hits,
+                                  orchestrator.telemetry.misses)
+            except Exception as exc:
+                outcomes[name] = ("error", type(exc).__name__)
+
+        threads = [threading.Thread(target=run_one, args=(name,))
+                   for name in ("a", "b")]
+        threads[0].start()
+        assert _COALESCE_STARTED.wait(timeout=10)
+        threads[1].start()
+        # Hold the leader until the second run has provably joined the
+        # in-flight digest; otherwise it could miss the window and
+        # execute the cell itself.
+        for _ in range(1000):
+            if coalescer.coalesced_total == 1:
+                break
+            time.sleep(0.01)
+        assert coalescer.coalesced_total == 1
+        _COALESCE_GATE.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        return outcomes
+
+    def test_concurrent_runs_share_one_execution(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell = _gated_cell("gated_echo_cell", 5)
+        outcomes = self._run_pair(cell, cache)
+        assert _COALESCE_RUNS == [5]
+        assert outcomes["a"][1] == outcomes["b"][1] == {"value": 5}
+        # One side computed (a miss); the other replayed the leader's
+        # payload (recorded as a hit) or — if it arrived after the
+        # leader stored — hit the cache outright.
+        assert sorted((outcomes["a"][2:], outcomes["b"][2:])) \
+            == [(0, 1), (1, 0)]
+        # Both sides flushed the shared cache.
+        assert cache.load(cell.digest())["payload"] == {"value": 5}
+
+    def test_leader_failure_propagates_not_hangs(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cell = _gated_cell("gated_failing_cell", 8)
+        outcomes = self._run_pair(cell, cache)
+        kinds = sorted(outcome[1] for outcome in outcomes.values())
+        # The leader surfaces the cell's own error; the follower gets
+        # CoalesceError instead of deadlocking on the dead claim.
+        assert kinds == ["CoalesceError", "RuntimeError"]
+        assert cache.load(cell.digest()) is None
 
 
 class TestExperimentCells:

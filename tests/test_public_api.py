@@ -63,4 +63,4 @@ def test_package_exports_resolve():
 
 
 def test_version():
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"

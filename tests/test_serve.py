@@ -1,0 +1,498 @@
+"""The serve subsystem: request model, registry, HTTP daemon, loadgen.
+
+The load-bearing guarantees:
+
+* a run's report (and ``GET /runs/<id>/report`` bytes) is identical to
+  the CLI's for the same target/scale/seed, computed or cached;
+* identical in-flight requests coalesce into one execution;
+* drain finishes in-flight runs, flushes them to the cache, and
+  refuses new requests with 503.
+"""
+
+import http.client
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.common import SCALES
+from repro.experiments.runner import RunContext, TargetPlan, run_target
+from repro.metrics import PROMETHEUS_CONTENT_TYPE, parse_exposition
+from repro.orchestrate import Cell, Orchestrator, ResultCache
+from repro.serve import (
+    RequestError,
+    RunRequest,
+    RunRegistry,
+    ServeApp,
+    make_server,
+    run_loadgen,
+    validate_schema,
+)
+from repro.serve.app import ServiceUnavailable
+from repro.serve.loadgen import write_report
+
+# ---------------------------------------------------------------------------
+# Cheap controllable targets (module-level: resolve_cell_fn finds them).
+# ---------------------------------------------------------------------------
+
+_EXECUTIONS = []                 # tags of cells that actually computed
+_GATE = threading.Event()        # released to let gated cells finish
+_STARTED = threading.Event()     # set when a gated cell begins
+
+
+def echo_cell(params):
+    _EXECUTIONS.append(params["tag"])
+    return {"tag": params["tag"], "seed": params["seed"],
+            "scale": params["scale"]}
+
+
+def gated_cell(params):
+    _STARTED.set()
+    if not _GATE.wait(timeout=30):
+        raise RuntimeError("gate never released")
+    _EXECUTIONS.append(params["tag"])
+    return {"tag": params["tag"], "seed": params["seed"],
+            "scale": params["scale"]}
+
+
+def failing_cell(params):
+    raise RuntimeError("deliberate test failure")
+
+
+def _planner(fn_name, tag):
+    def planner(scale, seed):
+        cells = [Cell(
+            experiment=tag, cell_id=f"{scale.name}-{seed}",
+            fn=f"tests.test_serve:{fn_name}",
+            params={"tag": tag, "seed": seed, "scale": scale.name},
+        )]
+        return TargetPlan(cells, lambda ps: json.dumps(ps, sort_keys=True))
+    return planner
+
+
+FAKE_TARGETS = {
+    "fork": _planner("echo_cell", "fork"),
+    "launch": _planner("echo_cell", "launch"),
+    "gated": _planner("gated_cell", "gated"),
+    "boom": _planner("failing_cell", "boom"),
+}
+
+
+# ---------------------------------------------------------------------------
+# HTTP helpers.
+# ---------------------------------------------------------------------------
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+def _get_json(url):
+    status, body, _ = _get(url)
+    return status, json.loads(body)
+
+
+def _post(url, body, timeout=30):
+    request = urllib.request.Request(
+        f"{url}/run", data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A running daemon over the fake target table + its shared cache."""
+    _GATE.clear()
+    _STARTED.clear()
+    del _EXECUTIONS[:]
+    cache = ResultCache(str(tmp_path / "cache"))
+    app = ServeApp(cache=cache, workers=2, targets=dict(FAKE_TARGETS))
+    server = make_server("127.0.0.1", 0, app)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield app, f"http://127.0.0.1:{server.port}", cache
+    finally:
+        _GATE.set()
+        app.drain(timeout=10)
+        server.shutdown()
+        server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# Schema validation + request model.
+# ---------------------------------------------------------------------------
+
+class TestValidateSchema:
+    def test_accepts_conforming_object(self):
+        schema = {"type": "object", "required": ["a"],
+                  "additionalProperties": False,
+                  "properties": {"a": {"type": "integer", "minimum": 0},
+                                 "b": {"type": "string",
+                                       "enum": ["x", "y"]}}}
+        assert validate_schema({"a": 3, "b": "x"}, schema) == []
+
+    def test_reports_every_problem_at_once(self):
+        schema = {"type": "object", "required": ["a"],
+                  "additionalProperties": False,
+                  "properties": {"a": {"type": "integer"}}}
+        problems = validate_schema({"z": 1, "q": 2}, schema)
+        assert len(problems) == 3  # missing a, unknown q, unknown z.
+
+    def test_booleans_are_not_integers(self):
+        assert validate_schema(True, {"type": "integer"})
+        assert validate_schema(3, {"type": "boolean"})
+
+    def test_bounds_and_enum(self):
+        assert validate_schema(-1, {"type": "integer", "minimum": 0})
+        assert validate_schema(99, {"type": "integer", "maximum": 8})
+        assert validate_schema("z", {"type": "string", "enum": ["a"]})
+
+    def test_non_object_where_object_expected(self):
+        assert validate_schema([1], {"type": "object"})
+
+
+class TestRunRequest:
+    def test_defaults(self):
+        request = RunRequest.from_json({"target": "fork"})
+        assert request.scale == "quick"
+        assert request.seed == 7
+        assert request.jobs == 1
+        assert not request.no_cache
+        assert request.wait
+
+    def test_rejects_with_problem_list(self):
+        with pytest.raises(RequestError) as excinfo:
+            RunRequest.from_json({"target": "nope", "seed": -1,
+                                  "bogus": True})
+        problems = excinfo.value.problems
+        assert len(problems) == 3
+
+    def test_key_covers_semantics_not_execution(self):
+        base = RunRequest(target="fork", scale="quick", seed=7)
+        assert base.key() == RunRequest(target="fork", scale="quick",
+                                        seed=7, jobs=4, wait=False).key()
+        assert base.key() != RunRequest(target="fork", scale="quick",
+                                        seed=8).key()
+        assert base.key() != RunRequest(target="fork", scale="quick",
+                                        seed=7, no_cache=True).key()
+
+
+class TestRunRegistry:
+    def test_identical_inflight_requests_share_a_record(self):
+        registry = RunRegistry()
+        request = RunRequest(target="fork")
+        first, created = registry.submit(request)
+        second, second_created = registry.submit(request)
+        assert created and not second_created
+        assert first is second and first.clients == 2
+
+    def test_finished_records_do_not_coalesce(self):
+        registry = RunRegistry()
+        request = RunRequest(target="fork")
+        first, _ = registry.submit(request)
+        registry.mark_running(first)
+        registry.finish(first, "report", hits=1, misses=0)
+        assert first.cached and first.state == "done"
+        second, created = registry.submit(request)
+        assert created and second is not first
+
+    def test_events_are_sequenced(self):
+        registry = RunRegistry()
+        record, _ = registry.submit(RunRequest(target="fork"))
+        registry.mark_running(record)
+        registry.add_cell_event(record, "a/b", False, 0.5, 1, 2)
+        registry.fail(record, "boom")
+        assert [e["seq"] for e in record.events] == [0, 1, 2, 3]
+        events, finished = registry.events_since(record, 2, timeout=1)
+        assert finished and [e["type"] for e in events] == ["cell",
+                                                           "state"]
+
+
+# ---------------------------------------------------------------------------
+# The HTTP daemon.
+# ---------------------------------------------------------------------------
+
+class TestHttpBasics:
+    def test_healthz(self, served):
+        _, url, _ = served
+        status, body = _get_json(f"{url}/healthz")
+        assert status == 200 and body["status"] == "ok"
+        assert "gated" in body["targets"]
+
+    def test_unknown_paths_are_404(self, served):
+        _, url, _ = served
+        assert _get_json(f"{url}/nope")[0] == 404
+        assert _get_json(f"{url}/runs/run-9999")[0] == 404
+        assert _post(f"{url}/extra", {})[0] == 404
+
+    def test_invalid_bodies_are_400_with_problems(self, served):
+        _, url, _ = served
+        status, body = _post(url, {"seed": 7})
+        assert status == 400
+        assert any("target" in p for p in body["problems"])
+        status, body = _post(url, {"target": "fork", "scale": "huge"})
+        assert status == 400
+        request = urllib.request.Request(
+            f"{url}/run", data=b"not json{",
+            headers={"Content-Type": "application/json"}, method="POST")
+        try:
+            urllib.request.urlopen(request, timeout=30)
+            raise AssertionError("malformed body accepted")
+        except urllib.error.HTTPError as error:
+            assert error.code == 400
+
+    def test_run_then_cache_hit(self, served):
+        app, url, _ = served
+        body = {"target": "fork", "scale": "quick", "seed": 3}
+        status, first = _post(url, body)
+        assert status == 200 and first["state"] == "done"
+        assert not first["cached"] and first["misses"] == 1
+        expected = json.dumps(
+            [{"scale": "quick", "seed": 3, "tag": "fork"}],
+            sort_keys=True)
+        assert first["report"] == expected
+        status, second = _post(url, body)
+        assert status == 200 and second["cached"]
+        assert second["hits"] == 1 and second["misses"] == 0
+        assert second["report"] == expected
+        assert second["id"] != first["id"]
+        assert _EXECUTIONS == ["fork"]  # One compute, one replay.
+        values = app.metrics.snapshot()
+        assert values["satr_serve_cache_hits_total"] == 1
+        assert values["satr_serve_cache_misses_total"] == 1
+
+    def test_async_submit_poll_and_report_bytes(self, served):
+        _, url, _ = served
+        status, body = _post(url, {"target": "launch", "seed": 5,
+                                   "wait": False})
+        assert status == 202
+        run_id = body["id"]
+        assert _get_json(f"{url}/runs")[1]["runs"]
+        for _ in range(200):
+            status, detail = _get_json(f"{url}/runs/{run_id}")
+            if detail["state"] == "done":
+                break
+            time.sleep(0.02)
+        assert detail["state"] == "done"
+        status, raw, headers = _get(f"{url}/runs/{run_id}/report")
+        assert status == 200
+        assert raw.decode("utf-8") == detail["report"]
+
+    def test_failed_run_is_500_with_error(self, served):
+        _, url, _ = served
+        status, body = _post(url, {"target": "boom"})
+        assert status == 500
+        assert body["state"] == "failed"
+        assert "RuntimeError" in body["error"]
+        assert _get(f"{url}/runs/{body['id']}/report")[0] == 500
+
+    def test_metrics_exposition_parses(self, served):
+        _, url, _ = served
+        _post(url, {"target": "fork", "seed": 11})
+        status, raw, headers = _get(f"{url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        parsed = parse_exposition(raw.decode("utf-8"))
+        metrics = {s["metric"] for s in parsed["samples"]}
+        assert "satr_serve_requests_total" in metrics
+        assert "satr_serve_run_seconds" in metrics
+        target_labels = {s["labels"].get("target")
+                         for s in parsed["samples"]
+                         if s["metric"] == "satr_serve_run_seconds"}
+        assert target_labels == {"fork"}
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_share_one_execution(self,
+                                                               served):
+        app, url, _ = served
+        body = {"target": "gated", "seed": 9}
+        results = []
+
+        def issue():
+            results.append(_post(url, body, timeout=60))
+
+        first = threading.Thread(target=issue)
+        first.start()
+        assert _STARTED.wait(timeout=10)
+        second = threading.Thread(target=issue)
+        second.start()
+        record = app.registry.get("run-0001")
+        for _ in range(200):
+            if record.clients == 2:
+                break
+            time.sleep(0.02)
+        assert record.clients == 2
+        _GATE.set()
+        first.join(timeout=30)
+        second.join(timeout=30)
+        assert len(results) == 2
+        (status_a, a), (status_b, b) = results
+        assert status_a == status_b == 200
+        assert a["id"] == b["id"]
+        assert a["report"] == b["report"]
+        assert {a["coalesced"], b["coalesced"]} == {True, False}
+        assert _EXECUTIONS == ["gated"]
+        values = app.metrics.snapshot()
+        assert values["satr_serve_coalesced_requests_total"] == 1
+
+
+class TestEventStream:
+    def test_stream_follows_a_live_run(self, served):
+        _, url, _ = served
+        status, body = _post(url, {"target": "gated", "seed": 4,
+                                   "wait": False})
+        assert status == 202
+        run_id = body["id"]
+        assert _STARTED.wait(timeout=10)
+
+        host, port = url.split("//")[1].split(":")
+        connection = http.client.HTTPConnection(host, int(port),
+                                                timeout=30)
+        connection.request("GET", f"/runs/{run_id}/events")
+        response = connection.getresponse()
+        assert response.status == 200
+        assert response.headers["Content-Type"] == "application/x-ndjson"
+        lines = [json.loads(response.readline())
+                 for _ in range(2)]  # queued + running, pre-release.
+        assert [e["state"] for e in lines] == ["queued", "running"]
+        _GATE.set()
+        rest = [json.loads(line) for line in response if line.strip()]
+        connection.close()
+        events = lines + [e for e in rest if e.get("type") != "ping"]
+        assert events[-1] == {"seq": 3, "state": "done", "type": "state",
+                              "cached": False, "hits": 0, "misses": 1}
+        cell_events = [e for e in events if e["type"] == "cell"]
+        assert len(cell_events) == 1
+        assert cell_events[0]["name"] == "gated/quick-4"
+        assert [e["seq"] for e in events] == [0, 1, 2, 3]
+
+    def test_stream_replays_a_finished_run(self, served):
+        _, url, _ = served
+        _GATE.set()
+        status, body = _post(url, {"target": "fork", "seed": 6})
+        assert status == 200
+        status, raw, _ = _get(f"{url}/runs/{body['id']}/events")
+        events = [json.loads(line) for line in raw.splitlines() if line]
+        assert [e["type"] for e in events] == ["state", "state", "cell",
+                                               "state"]
+        assert events[-1]["state"] == "done"
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_inflight_flushes_and_refuses(self, served):
+        app, url, cache = served
+        status, body = _post(url, {"target": "gated", "seed": 2,
+                                   "wait": False})
+        assert status == 202
+        run_id = body["id"]
+        assert _STARTED.wait(timeout=10)
+
+        app.begin_drain()
+        status, refused = _post(url, {"target": "fork", "seed": 1})
+        assert status == 503 and "draining" in refused["error"]
+        assert _get_json(f"{url}/healthz")[0] == 503
+
+        _GATE.set()
+        assert app.drain(timeout=30)
+        record = app.registry.get(run_id)
+        assert record.state == "done"
+        # The in-flight run was flushed to the shared cache.
+        digest = FAKE_TARGETS["gated"](SCALES["quick"],
+                                       2).cells[0].digest()
+        stored = cache.load(digest)
+        assert stored is not None
+        assert stored["payload"]["tag"] == "gated"
+        # Still refusing after the drain completes.
+        assert _post(url, {"target": "fork", "seed": 1})[0] == 503
+
+    def test_queue_limit_refuses_with_503(self):
+        _GATE.clear()
+        _STARTED.clear()
+        app = ServeApp(cache=None, workers=1, queue_limit=1,
+                       targets=dict(FAKE_TARGETS))
+        app.start()
+        try:
+            app.submit(RunRequest(target="gated", seed=1))
+            assert _STARTED.wait(timeout=10)  # Worker is now occupied.
+            app.submit(RunRequest(target="gated", seed=2))  # Queued.
+            with pytest.raises(ServiceUnavailable):
+                app.submit(RunRequest(target="gated", seed=3))
+        finally:
+            _GATE.set()
+            assert app.drain(timeout=30)
+
+
+# ---------------------------------------------------------------------------
+# loadgen.
+# ---------------------------------------------------------------------------
+
+class TestLoadgen:
+    def test_warm_cache_loadgen_report(self, served, tmp_path):
+        _, url, _ = served
+        report = run_loadgen(url, ["fork"], scale="quick", seed=21,
+                             concurrency=2, requests=6, warmup=True,
+                             timeout_s=60)
+        overall = report["overall"]
+        assert overall["count"] == 6
+        assert report["errors"] == 0
+        # Warm-up computed the only cell; measured traffic is all
+        # cache hits (or coalesced onto a hit-backed run).
+        assert overall["cache_hit_runs"] == 6
+        assert (overall["p50_ms"] <= overall["p95_ms"]
+                <= overall["p99_ms"])
+        assert overall["throughput_rps"] > 0
+        assert _EXECUTIONS == ["fork"]
+        path = tmp_path / "BENCH_serve_test.json"
+        write_report(report, str(path))
+        assert json.loads(path.read_text())["overall"]["count"] == 6
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            run_loadgen("http://x", [], requests=1)
+        with pytest.raises(ValueError):
+            run_loadgen("http://x", ["fork"], concurrency=0)
+
+
+# ---------------------------------------------------------------------------
+# The CLI byte-identity contract (real targets, real workload).
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+class TestCliByteIdentity:
+    def test_serve_report_matches_cli_fork_quick(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        app = ServeApp(cache=cache, workers=1)
+        server = make_server("127.0.0.1", 0, app)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.port}"
+        try:
+            body = {"target": "fork", "scale": "quick", "seed": 7}
+            status, first = _post(url, body, timeout=600)
+            assert status == 200 and first["state"] == "done"
+            expected = run_target("fork", SCALES["quick"],
+                                  RunContext(Orchestrator()))
+            assert first["report"] == expected
+            # The raw report endpoint serves the CLI's exact bytes.
+            status, raw, _ = _get(f"{url}/runs/{first['id']}/report")
+            assert raw.decode("utf-8") == expected
+            # A repeat is served from the shared cache, byte-identical.
+            status, second = _post(url, body, timeout=600)
+            assert second["cached"] and second["report"] == expected
+        finally:
+            app.drain(timeout=60)
+            server.shutdown()
+            server.server_close()
