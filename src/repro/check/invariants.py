@@ -74,6 +74,7 @@ def verify_kernel(kernel, site: str = "manual") -> None:
     _verify_tables(kernel, live, site)
     _verify_dacrs(kernel, live, site)
     _verify_tlbs(kernel, live, site)
+    _verify_policy(kernel, live, site)
 
 
 def _verify_tables(kernel, live, site: str) -> None:
@@ -217,6 +218,29 @@ def _verify_tlb_entry(kernel, asid_map, zygote_like, entry, where: str,
     if not _entry_matches_tables(kernel, task, entry, where, site):
         _fail(site, f"{where}: stale entry at vpn {entry.vpn:#x} "
                     f"(pid {task.pid} has no valid PTE there)")
+
+
+def _verify_policy(kernel, live, site: str) -> None:
+    """The active translation policy's shadow state (family 3 + 6).
+
+    Shadow translation entries a policy holds outside the TLBs (e.g.
+    victima's parked victims) receive page-table flushes just like TLB
+    entries, so they must satisfy the same coherence invariant; on top
+    of that, each policy checks its own accounting (e.g. victima's
+    park/revive ledger, replicated-pt's per-replica sync parity) via
+    :meth:`TranslationPolicy.check_invariants`.
+    """
+    policy = kernel.policy
+    if not policy.active:
+        return
+    asid_map = {task.asid: task for task in live}
+    zygote_like = [task for task in live if task.is_zygote_like]
+    where = f"policy {policy.name} shadow"
+    for entry in policy.shadow_entries():
+        _verify_tlb_entry(kernel, asid_map, zygote_like, entry, where,
+                          site)
+    for problem in policy.check_invariants():
+        _fail(site, f"policy {policy.name}: {problem}")
 
 
 def _entry_matches_tables(kernel, task, entry, where: str,

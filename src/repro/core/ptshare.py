@@ -45,6 +45,7 @@ from repro.kernel.counters import CounterScope
 from repro.kernel.mm import MmStruct
 from repro.kernel.task import Task
 from repro.kernel.vma import Vma
+from repro.policy import NULL_POLICY
 from repro.trace import NULL_TRACER, EventType
 
 
@@ -67,6 +68,10 @@ class PageTableManager:
     ``tlb_flush`` callable (the kernel wires it to the platform) so this
     module stays free of hardware-scheduling concerns.
     """
+
+    #: Translation policy; the kernel overwrites this when one is
+    #: configured (share/unshare protocol hooks).
+    policy = NULL_POLICY
 
     def __init__(self, memory: PhysicalMemory, cost: CostModel,
                  config, tlb_flush_task, tlb_flush_all,
@@ -122,6 +127,9 @@ class PageTableManager:
                 tracer.emit(EventType.PTP_UNSHARE, pid=task.pid,
                             ptp=slot_index, cause="exit",
                             value=ptp.sharer_count)
+            policy = self.policy
+            if policy.active:
+                policy.on_ptp_unshare(ptp, "exit", 0)
             if ptp.sharer_count > 1:
                 task.mm.tables.detach(slot_index)
                 return
@@ -177,12 +185,14 @@ class PageTableManager:
                 outcome.fallback_slots.append(slot_index)
                 continue
             ptp = slot.ptp
+            protected_now = 0
             if not slot.need_copy:
                 # First share: enforce COW by write-protecting every
                 # writable PTE (unless modelling an x86-style level-1
                 # write-protect bit, which makes the pass unnecessary).
                 if not self._config.x86_style_l1_write_protect:
                     protected = ptp.write_protect_all()
+                    protected_now = protected
                     outcome.ptes_write_protected += protected
                     counters.bump("ptes_write_protected", protected)
                     outcome.cycles += protected * self._cost.pte_write_protect
@@ -200,6 +210,9 @@ class PageTableManager:
                 slot_index, ptp, need_copy=True, domain=slot.domain
             )
             counters.bump("ptp_share_events")
+            policy = self.policy
+            if policy.active:
+                policy.on_ptp_share(ptp, protected_now)
             tracer = self.tracer
             if tracer.enabled:
                 tracer.emit(EventType.PTP_SHARE, pid=child.pid,
@@ -245,6 +258,9 @@ class PageTableManager:
         if shared_ptp.sharer_count == 1:
             # Last sharer: the PTP becomes private by clearing NEED_COPY.
             slot.need_copy = False
+            policy = self.policy
+            if policy.active:
+                policy.on_ptp_unshare(shared_ptp, trigger, 0)
             return shared_ptp
 
         # 1. Clear the level-1 entry and flush this process's TLB entries.
@@ -270,6 +286,9 @@ class PageTableManager:
             charge(copied * self._cost.pte_copy)
 
         # 4. The sharer count was decremented by the detach above.
+        policy = self.policy
+        if policy.active:
+            policy.on_ptp_unshare(shared_ptp, trigger, copied)
         return new_ptp
 
     def ensure_range_private(self, task: Task, start: int, end: int,

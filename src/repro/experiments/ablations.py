@@ -189,18 +189,24 @@ class DomainlessResult:
 
 def domainless_ablation(scale: Scale = DEFAULT,
                         seed: int = DEFAULT_SEED) -> DomainlessResult:
-    """Run the Section 3.2.3 confinement comparison."""
+    """Run the Section 3.2.3 confinement comparison.
+
+    The fallback arm is the ``nodomain-flush`` translation policy from
+    :mod:`repro.policy` — its implied configuration turns domain
+    support off, so the registry and this ablation are one mechanism.
+    """
     results = {}
     flushes = 0
     faults = 0
-    for label, domains in (("domains", True), ("fallback", False)):
-        config = shared_ptp_tlb_config().with_(domain_support=domains)
+    for label, policy in (("domains", "baseline"),
+                          ("fallback", "nodomain-flush")):
+        config = shared_ptp_tlb_config().with_(policy=policy)
         runtime = boot_android(Kernel(config=config), seed=seed)
         bench = BinderBenchmark(
             runtime, config=BinderConfig(invocations=scale.ipc_invocations)
         )
         results[label] = bench.run()
-        if domains:
+        if label == "domains":
             faults = bench.noise.counters.domain_faults
         else:
             flushes = runtime.kernel.platform.cores[0].main_tlb.stats.flushes

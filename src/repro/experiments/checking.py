@@ -37,6 +37,7 @@ from repro.experiments.common import (
     Scale,
     build_runtime,
     format_table,
+    params_with_policy,
     scale_from_params,
     scale_to_params,
 )
@@ -143,6 +144,7 @@ def check_cell(params: Dict[str, Any]) -> Dict[str, Any]:
                 mode=LayoutMode[params["mode"]],
                 seed=params["seed"],
                 checker=checker,
+                policy=params.get("policy", "baseline"),
             )
             _WORKLOADS[target](
                 runtime, scale,
@@ -164,11 +166,15 @@ def check_cell(params: Dict[str, Any]) -> Dict[str, Any]:
 def check_cells(target: str, scale: Scale = DEFAULT,
                 seed: int = DEFAULT_SEED,
                 inject: Optional[str] = None,
-                every: int = 0) -> List[Cell]:
+                every: int = 0,
+                policy: str = "baseline") -> List[Cell]:
     """The (sharing, stock) cell pair for one target.
 
     ``inject`` mutates only the sharing cell; the stock cell is the
-    oracle's clean reference and always runs unmodified.
+    oracle's clean reference and always runs unmodified.  ``policy``
+    likewise applies to the sharing cell only: a translation policy
+    must be observationally invisible, so the differential oracle keeps
+    comparing against the unmodified stock kernel.
     """
     try:
         sharing_config, stock_config = CHECK_CONFIGS[target]
@@ -177,15 +183,17 @@ def check_cells(target: str, scale: Scale = DEFAULT,
             f"unknown check target {target!r}; known: {CHECK_TARGETS}"
         ) from None
     axes = [
-        (sharing_config, sharing_config, inject),
-        (stock_config, stock_config, None),
+        (sharing_config, sharing_config, inject, policy),
+        (stock_config, stock_config, None, "baseline"),
     ]
     return [
         Cell(
             experiment=f"check-{target}",
-            cell_id=label if mutation is None else f"{label}+{mutation}",
+            cell_id=(label if mutation is None else f"{label}+{mutation}")
+                    + ("" if cell_policy == "baseline"
+                       else f"@{cell_policy}"),
             fn="repro.experiments.checking:check_cell",
-            params={
+            params=params_with_policy({
                 "target": target,
                 "label": label,
                 "config": config_name,
@@ -194,10 +202,11 @@ def check_cells(target: str, scale: Scale = DEFAULT,
                 "seed": seed,
                 "inject": mutation,
                 "every": every,
-            },
-            config_fields=kernel_config_fields(config_name),
+            }, cell_policy),
+            config_fields=kernel_config_fields(config_name,
+                                               policy=cell_policy),
         )
-        for label, config_name, mutation in axes
+        for label, config_name, mutation, cell_policy in axes
     ]
 
 
@@ -301,8 +310,10 @@ def run_check(target: str, scale: Scale = DEFAULT,
               orchestrator: Optional[Orchestrator] = None,
               seed: int = DEFAULT_SEED,
               inject: Optional[str] = None,
-              every: int = 0) -> CheckResult:
+              every: int = 0,
+              policy: str = "baseline") -> CheckResult:
     """Run one check target through the orchestrator."""
     orchestrator = orchestrator or Orchestrator()
-    cells = check_cells(target, scale, seed, inject=inject, every=every)
+    cells = check_cells(target, scale, seed, inject=inject, every=every,
+                        policy=policy)
     return merge_check(target, orchestrator.run(cells))

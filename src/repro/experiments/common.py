@@ -71,6 +71,18 @@ def scale_from_params(params: Dict[str, Any]) -> Scale:
     return Scale(**flat)
 
 
+def params_with_policy(params: Dict[str, Any],
+                       policy: str) -> Dict[str, Any]:
+    """Add a ``policy`` key to cell params only when non-default.
+
+    Baseline cells must keep their pre-policy params (and therefore
+    digests); any other policy keys its own cache entries.
+    """
+    if policy != "baseline":
+        params["policy"] = policy
+    return params
+
+
 def build_runtime(
     config_name: str,
     mode: LayoutMode = LayoutMode.ORIGINAL,
@@ -79,6 +91,7 @@ def build_runtime(
     tracer=None,
     checker=None,
     metrics=None,
+    policy: str = "baseline",
 ) -> AndroidRuntime:
     """A booted Android runtime under one kernel configuration.
 
@@ -89,6 +102,9 @@ def build_runtime(
     boot sequence itself runs under the invariant sweeps.  ``metrics``
     (a :class:`repro.metrics.Sampler`) likewise again: the series
     starts at boot, so lifecycle gauges cover the kernel's whole life.
+    ``policy`` names a :mod:`repro.policy` translation policy — unlike
+    the three runtime hooks it becomes a config field (it changes
+    semantics) and therefore enters cache digests.
     """
     try:
         config: KernelConfig = CONFIG_FACTORIES[config_name]()
@@ -97,7 +113,7 @@ def build_runtime(
             f"unknown config {config_name!r}; known: "
             f"{sorted(CONFIG_FACTORIES)}"
         ) from None
-    config = config.with_(asid_enabled=asid_enabled)
+    config = config.with_(asid_enabled=asid_enabled, policy=policy)
     kernel = Kernel(config=config, tracer=tracer, checker=checker,
                     metrics=metrics)
     return boot_android(kernel, mode=mode, seed=seed)

@@ -12,6 +12,7 @@ from repro.experiments.common import (
     Scale,
     build_runtime,
     format_table,
+    params_with_policy,
     scale_from_params,
     scale_to_params,
 )
@@ -96,7 +97,8 @@ def table4_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     """One kernel's fork-round series (a self-contained cell)."""
     scale = scale_from_params(params["scale"])
     config_name = params["config"]
-    runtime = build_runtime(config_name, seed=params["seed"])
+    runtime = build_runtime(config_name, seed=params["seed"],
+                            policy=params.get("policy", "baseline"))
     best = None
     for index in range(scale.fork_rounds):
         child, report = runtime.fork_app(f"fork-bench-{index}")
@@ -113,20 +115,25 @@ def table4_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def table4_cells(scale: Scale = DEFAULT,
-                 seed: int = DEFAULT_SEED) -> List[Cell]:
-    """The three-kernel fork comparison as independent cells."""
+def table4_cells(scale: Scale = DEFAULT, seed: int = DEFAULT_SEED,
+                 policy: str = "baseline") -> List[Cell]:
+    """The three-kernel fork comparison as independent cells.
+
+    A non-default translation ``policy`` is carried in the params *and*
+    the config fields, so its cells digest (and cache) separately;
+    baseline cells keep their pre-policy digests.
+    """
     return [
         Cell(
             experiment="table4",
             cell_id=config_name,
             fn="repro.experiments.fork:table4_cell",
-            params={
+            params=params_with_policy({
                 "config": config_name,
                 "scale": scale_to_params(scale),
                 "seed": seed,
-            },
-            config_fields=kernel_config_fields(config_name),
+            }, policy),
+            config_fields=kernel_config_fields(config_name, policy=policy),
         )
         for config_name in TABLE4_KERNELS
     ]
@@ -148,10 +155,11 @@ def merge_table4(payloads: List[Dict[str, Any]]) -> Table4Result:
 
 def table4(scale: Scale = DEFAULT,
            orchestrator: Optional[Orchestrator] = None,
-           seed: int = DEFAULT_SEED) -> Table4Result:
+           seed: int = DEFAULT_SEED,
+           policy: str = "baseline") -> Table4Result:
     """Fork the zygote repeatedly under each kernel; report the minimum."""
     orchestrator = orchestrator or Orchestrator()
-    return merge_table4(orchestrator.run(table4_cells(scale, seed)))
+    return merge_table4(orchestrator.run(table4_cells(scale, seed, policy)))
 
 
 # ---------------------------------------------------------------------------
@@ -245,19 +253,21 @@ def table3_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     the sweep cannot be split without changing its meaning.
     """
     scale = scale_from_params(params["scale"])
-    runtime = build_runtime("shared-ptp", seed=params["seed"])
+    runtime = build_runtime("shared-ptp", seed=params["seed"],
+                            policy=params.get("policy", "baseline"))
     return {"rows": _table3_sweep(runtime, scale)}
 
 
-def table3_cells(scale: Scale = DEFAULT,
-                 seed: int = DEFAULT_SEED) -> List[Cell]:
+def table3_cells(scale: Scale = DEFAULT, seed: int = DEFAULT_SEED,
+                 policy: str = "baseline") -> List[Cell]:
     """Table 3 as a (single-cell) list, for uniform orchestration."""
     return [Cell(
         experiment="table3",
         cell_id="shared-ptp",
         fn="repro.experiments.fork:table3_cell",
-        params={"scale": scale_to_params(scale), "seed": seed},
-        config_fields=kernel_config_fields("shared-ptp"),
+        params=params_with_policy(
+            {"scale": scale_to_params(scale), "seed": seed}, policy),
+        config_fields=kernel_config_fields("shared-ptp", policy=policy),
     )]
 
 
@@ -277,7 +287,8 @@ def merge_table3(payloads: List[Dict[str, Any]]) -> Table3Result:
 def table3(scale: Scale = DEFAULT,
            runtime: Optional[AndroidRuntime] = None,
            orchestrator: Optional[Orchestrator] = None,
-           seed: int = DEFAULT_SEED) -> Table3Result:
+           seed: int = DEFAULT_SEED,
+           policy: str = "baseline") -> Table3Result:
     """Cold/warm inherited-PTE counts per app.
 
     Cold: how much of the app's preloaded footprint the zygote has
@@ -292,4 +303,4 @@ def table3(scale: Scale = DEFAULT,
     if runtime is not None:
         return merge_table3([{"rows": _table3_sweep(runtime, scale)}])
     orchestrator = orchestrator or Orchestrator()
-    return merge_table3(orchestrator.run(table3_cells(scale, seed)))
+    return merge_table3(orchestrator.run(table3_cells(scale, seed, policy)))

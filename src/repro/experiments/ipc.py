@@ -24,6 +24,7 @@ from repro.experiments.common import (
     Scale,
     build_runtime,
     format_table,
+    params_with_policy,
     scale_from_params,
     scale_to_params,
 )
@@ -116,7 +117,8 @@ def ipc_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     asid = params["asid"]
     kernel_name = params["kernel"]
     runtime = build_runtime(kernel_name, asid_enabled=asid,
-                            seed=params["seed"])
+                            seed=params["seed"],
+                            policy=params.get("policy", "baseline"))
     if params["binder_config"] is not None:
         bench_config = BinderConfig(**params["binder_config"])
     else:
@@ -135,7 +137,8 @@ def ipc_cell(params: Dict[str, Any]) -> Dict[str, Any]:
 
 def ipc_cells(scale: Scale = DEFAULT,
               config: Optional[BinderConfig] = None,
-              seed: int = DEFAULT_SEED) -> List[Cell]:
+              seed: int = DEFAULT_SEED,
+              policy: str = "baseline") -> List[Cell]:
     """The six-configuration binder sweep as independent cells."""
     cells = []
     for asid in (False, True):
@@ -144,15 +147,16 @@ def ipc_cells(scale: Scale = DEFAULT,
                 experiment="ipc",
                 cell_id=f"{'asid' if asid else 'no-asid'}-{kernel_name}",
                 fn="repro.experiments.ipc:ipc_cell",
-                params={
+                params=params_with_policy({
                     "asid": asid,
                     "kernel": kernel_name,
                     "binder_config": jsonable(config) if config else None,
                     "scale": scale_to_params(scale),
                     "seed": seed,
-                },
+                }, policy),
                 config_fields=kernel_config_fields(kernel_name,
-                                                   asid_enabled=asid),
+                                                   asid_enabled=asid,
+                                                   policy=policy),
             ))
     return cells
 
@@ -175,10 +179,12 @@ def merge_ipc(payloads: List[Dict[str, Any]]) -> IpcResult:
 def run_ipc_experiment(scale: Scale = DEFAULT,
                        config: Optional[BinderConfig] = None,
                        orchestrator: Optional[Orchestrator] = None,
-                       seed: int = DEFAULT_SEED) -> IpcResult:
+                       seed: int = DEFAULT_SEED,
+                       policy: str = "baseline") -> IpcResult:
     """The six-configuration binder sweep."""
     orchestrator = orchestrator or Orchestrator()
-    return merge_ipc(orchestrator.run(ipc_cells(scale, config, seed)))
+    return merge_ipc(
+        orchestrator.run(ipc_cells(scale, config, seed, policy)))
 
 
 figure13 = run_ipc_experiment

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     Scale,
     build_runtime,
     format_table,
+    params_with_policy,
     scale_from_params,
     scale_to_params,
 )
@@ -181,7 +182,8 @@ def launch_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     label = params["label"]
     runtime = build_runtime(params["config"],
                             mode=LayoutMode[params["mode"]],
-                            seed=params["seed"])
+                            seed=params["seed"],
+                            policy=params.get("policy", "baseline"))
     rng = DeterministicRng(100, f"launch-{label}")
     measurements = []
     for round_index in range(scale.launch_rounds):
@@ -196,22 +198,22 @@ def launch_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     return {"label": label, "measurements": measurements}
 
 
-def launch_cells(scale: Scale = DEFAULT,
-                 seed: int = DEFAULT_SEED) -> List[Cell]:
+def launch_cells(scale: Scale = DEFAULT, seed: int = DEFAULT_SEED,
+                 policy: str = "baseline") -> List[Cell]:
     """The four-configuration sweep as independent cells."""
     return [
         Cell(
             experiment="launch",
             cell_id=label,
             fn="repro.experiments.launch:launch_cell",
-            params={
+            params=params_with_policy({
                 "label": label,
                 "config": config_name,
                 "mode": mode.name,
                 "scale": scale_to_params(scale),
                 "seed": seed,
-            },
-            config_fields=kernel_config_fields(config_name),
+            }, policy),
+            config_fields=kernel_config_fields(config_name, policy=policy),
         )
         for label, config_name, mode in LAUNCH_CONFIGS
     ]
@@ -231,10 +233,12 @@ def merge_launch(payloads: List[Dict[str, Any]]) -> LaunchResult:
 
 def run_launch_experiment(scale: Scale = DEFAULT,
                           orchestrator: Optional[Orchestrator] = None,
-                          seed: int = DEFAULT_SEED) -> LaunchResult:
+                          seed: int = DEFAULT_SEED,
+                          policy: str = "baseline") -> LaunchResult:
     """Repeated Helloworld launches under the four configurations."""
     orchestrator = orchestrator or Orchestrator()
-    return merge_launch(orchestrator.run(launch_cells(scale, seed)))
+    return merge_launch(
+        orchestrator.run(launch_cells(scale, seed, policy)))
 
 
 #: Figures 7-9 come from one sweep; aliases for the runner.

@@ -29,6 +29,7 @@ any violation or divergence)::
     satr check fork --scale quick
     satr check ipc --scale quick --jobs 2
     satr check fork --scale quick --inject skip-write-protect  # must fail
+    satr check launch --scale quick --policy victima  # policy under check
 
 The ``metrics`` subcommand samples sharing/TLB/page-table gauges while
 a workload runs and exports the series::
@@ -36,6 +37,14 @@ a workload runs and exports the series::
     satr metrics fork --scale quick                      # terminal summary
     satr metrics launch --format prom -o launch.prom     # exposition text
     satr metrics steady --every 500 --format jsonl       # time series
+
+The ``compare`` subcommand runs the translation-policy ablation
+matrix (see :mod:`repro.policy`): every requested policy under every
+requested workload, ranked per target by page-walk cycles::
+
+    satr compare --scale quick
+    satr compare --policies baseline,victima --targets fork --jobs 2
+    satr compare --scale quick -o compare.json   # canonical JSON too
 
 The ``bench`` subcommand regenerates the metrics-overhead baseline
 (``BENCH_metrics.json``) or gates against a committed one::
@@ -183,21 +192,24 @@ def _rendered_planner(artefacts: List[str]) -> Callable[[Scale, int],
 
 
 def _launch_planner(render: Callable[[launch.LaunchResult], str]):
-    def planner(scale: Scale, seed: int) -> TargetPlan:
-        return TargetPlan(launch.launch_cells(scale, seed),
+    def planner(scale: Scale, seed: int,
+                policy: str = "baseline") -> TargetPlan:
+        return TargetPlan(launch.launch_cells(scale, seed, policy),
                           lambda ps: render(launch.merge_launch(ps)))
     return planner
 
 
 def _steady_planner(render: Callable[[steady.SteadyResult], str]):
-    def planner(scale: Scale, seed: int) -> TargetPlan:
-        return TargetPlan(steady.steady_cells(scale, seed),
+    def planner(scale: Scale, seed: int,
+                policy: str = "baseline") -> TargetPlan:
+        return TargetPlan(steady.steady_cells(scale, seed, policy),
                           lambda ps: render(steady.merge_steady(ps)))
     return planner
 
 
-def _fork_planner(scale: Scale, seed: int) -> TargetPlan:
-    table4_cells = fork.table4_cells(scale, seed)
+def _fork_planner(scale: Scale, seed: int,
+                  policy: str = "baseline") -> TargetPlan:
+    table4_cells = fork.table4_cells(scale, seed, policy)
     split = len(table4_cells)
 
     def render(payloads: List[Any]) -> str:
@@ -206,7 +218,8 @@ def _fork_planner(scale: Scale, seed: int) -> TargetPlan:
             fork.merge_table3(payloads[split:]).render(),
         ])
 
-    return TargetPlan(table4_cells + fork.table3_cells(scale, seed), render)
+    return TargetPlan(table4_cells + fork.table3_cells(scale, seed, policy),
+                      render)
 
 
 #: target name -> planner(scale, seed) -> TargetPlan.
@@ -217,11 +230,11 @@ TARGETS: Dict[str, Callable[[Scale, int], TargetPlan]] = {
     "table2": _rendered_planner(["table2"]),
     "figure4": _rendered_planner(["figure4"]),
     "motivation": _rendered_planner(MOTIVATION_ARTEFACTS),
-    "table3": lambda s, seed: TargetPlan(
-        fork.table3_cells(s, seed),
+    "table3": lambda s, seed, policy="baseline": TargetPlan(
+        fork.table3_cells(s, seed, policy),
         lambda ps: fork.merge_table3(ps).render()),
-    "table4": lambda s, seed: TargetPlan(
-        fork.table4_cells(s, seed),
+    "table4": lambda s, seed, policy="baseline": TargetPlan(
+        fork.table4_cells(s, seed, policy),
         lambda ps: fork.merge_table4(ps).render()),
     "fork": _fork_planner,
     "figure7": _launch_planner(lambda r: r.render_figure7()),
@@ -232,17 +245,26 @@ TARGETS: Dict[str, Callable[[Scale, int], TargetPlan]] = {
     "figure11": _steady_planner(lambda r: r.render_figure11()),
     "figure12": _steady_planner(lambda r: r.render_figure12()),
     "steady": _steady_planner(lambda r: r.render()),
-    "figure13": lambda s, seed: TargetPlan(
-        ipc.ipc_cells(s, seed=seed),
+    "figure13": lambda s, seed, policy="baseline": TargetPlan(
+        ipc.ipc_cells(s, seed=seed, policy=policy),
         lambda ps: ipc.merge_ipc(ps).render()),
-    "ipc": lambda s, seed: TargetPlan(
-        ipc.ipc_cells(s, seed=seed),
+    "ipc": lambda s, seed, policy="baseline": TargetPlan(
+        ipc.ipc_cells(s, seed=seed, policy=policy),
         lambda ps: ipc.merge_ipc(ps).render()),
     "ablations": _rendered_planner(ABLATION_ARTEFACTS),
 }
 
 #: Groups executed by ``satr all`` (each covers several artefacts).
 ALL_GROUPS = ["motivation", "fork", "launch", "steady", "ipc", "ablations"]
+
+#: Targets whose planners accept a translation policy.  The rendered
+#: drivers (motivation studies, ablations) are self-contained
+#: comparisons with their own config axes, so a policy override would
+#: be ambiguous there.
+POLICY_TARGETS = frozenset(
+    name for name in TARGETS
+    if name not in RENDERED_DRIVERS and name != "motivation"
+    and name != "ablations")
 
 
 @dataclass
@@ -251,10 +273,11 @@ class RunContext:
 
     orchestrator: Orchestrator = field(default_factory=Orchestrator)
     seed: int = DEFAULT_SEED
+    policy: str = "baseline"
 
 
-def plan_target(target: str, scale: Scale,
-                seed: int = DEFAULT_SEED) -> TargetPlan:
+def plan_target(target: str, scale: Scale, seed: int = DEFAULT_SEED,
+                policy: str = "baseline") -> TargetPlan:
     """The cell list and merge for one named target."""
     try:
         planner = TARGETS[target]
@@ -263,6 +286,12 @@ def plan_target(target: str, scale: Scale,
             f"unknown target {target!r}; choose from "
             f"{', '.join(sorted(TARGETS) + ['all'])}"
         )
+    if policy != "baseline":
+        if target not in POLICY_TARGETS:
+            raise SystemExit(
+                f"target {target!r} does not take --policy; policy-aware "
+                f"targets: {', '.join(sorted(POLICY_TARGETS))}")
+        return planner(scale, seed, policy=policy)
     return planner(scale, seed)
 
 
@@ -270,7 +299,7 @@ def run_target(target: str, scale: Scale,
                ctx: RunContext = None) -> str:
     """Run one named experiment target and return its report."""
     ctx = ctx or RunContext()
-    plan = plan_target(target, scale, ctx.seed)
+    plan = plan_target(target, scale, ctx.seed, ctx.policy)
     return plan.render(ctx.orchestrator.run(plan.cells))
 
 
@@ -363,6 +392,13 @@ def check_main(argv) -> int:
     parser.add_argument("--every", type=int, default=0, metavar="N",
                         help="additionally sweep every N access events "
                              "(default: 0, operation boundaries only)")
+    from repro.policy import policy_names
+
+    parser.add_argument("--policy", default="baseline",
+                        choices=policy_names(),
+                        help="translation policy for the sharing cell "
+                             "(the stock oracle reference stays "
+                             "baseline; default: baseline)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N")
     parser.add_argument("--cache-dir", default=None, metavar="DIR")
     parser.add_argument("--no-cache", action="store_true")
@@ -383,7 +419,7 @@ def check_main(argv) -> int:
     result = checking.run_check(args.target, scale,
                                 orchestrator=orchestrator,
                                 seed=args.seed, inject=args.inject,
-                                every=args.every)
+                                every=args.every, policy=args.policy)
     elapsed = time.time() - started
     print(f"[satr] check {args.target}: {elapsed:.1f}s",
           file=sys.stderr)
@@ -457,6 +493,77 @@ def metrics_main(argv) -> int:
         written = metricscells.export_result(result, output, args.format)
         print(f"[satr] metrics {args.target}: {elapsed:.1f}s, "
               f"{written} lines -> {output}", file=sys.stderr)
+    print(telemetry.summary(), file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def compare_main(argv) -> int:
+    """The ``satr compare`` subcommand: the policy x target matrix."""
+    from repro.experiments import compare
+    from repro.policy import policy_names
+
+    known_policies = ", ".join(policy_names())
+    parser = argparse.ArgumentParser(
+        prog="satr compare",
+        description=("Run every requested translation policy under "
+                     "every requested workload (through the cached, "
+                     "parallel-safe orchestrator) and print per-target "
+                     "tables ranked by page-walk cycles, with TLB miss "
+                     "rate, page-table bytes, sharing ratio and each "
+                     "policy's own event counters."),
+    )
+    parser.add_argument("--targets",
+                        default=",".join(compare.DEFAULT_COMPARE_TARGETS),
+                        help="comma-separated workloads (default: "
+                             f"{','.join(compare.DEFAULT_COMPARE_TARGETS)}; "
+                             f"choose from {', '.join(compare.COMPARE_TARGETS)})")
+    parser.add_argument("--policies", default=None,
+                        help="comma-separated policies (default: all "
+                             f"registered: {known_policies})")
+    parser.add_argument("--scale", default="default",
+                        choices=sorted(SCALES))
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="also write the matrix as canonical JSON")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR")
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    targets = [t for t in args.targets.split(",") if t]
+    unknown = sorted(set(targets) - set(compare.COMPARE_TARGETS))
+    if unknown:
+        parser.error(f"unknown target(s) {', '.join(unknown)}; choose "
+                     f"from {', '.join(compare.COMPARE_TARGETS)}")
+    policies = None
+    if args.policies is not None:
+        policies = [p for p in args.policies.split(",") if p]
+        bad = sorted(set(policies) - set(policy_names()))
+        if bad:
+            parser.error(f"unknown policy(ies) {', '.join(bad)}; choose "
+                         f"from {known_policies}")
+    scale = SCALES[args.scale]
+
+    telemetry = Telemetry(
+        progress=lambda line: print(line, file=sys.stderr, flush=True))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    orchestrator = Orchestrator(jobs=args.jobs, cache=cache,
+                                telemetry=telemetry)
+
+    started = time.time()
+    result = compare.run_compare(targets, policies, scale,
+                                 orchestrator=orchestrator,
+                                 seed=args.seed)
+    elapsed = time.time() - started
+    print(f"[satr] compare: {elapsed:.1f}s", file=sys.stderr)
+    print(f"=== compare (scale={scale.name}) ===")
+    print(result.render())
+    print()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"[satr] compare matrix -> {args.output}", file=sys.stderr)
     print(telemetry.summary(), file=sys.stderr)
     return 0 if result.ok else 1
 
@@ -682,6 +789,8 @@ def main(argv=None) -> int:
         return check_main(argv[1:])
     if argv and argv[0] == "metrics":
         return metrics_main(argv[1:])
+    if argv and argv[0] == "compare":
+        return compare_main(argv[1:])
     if argv and argv[0] == "bench":
         return bench_main(argv[1:])
     if argv and argv[0] == "serve":
@@ -696,8 +805,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        help=("one of: all, trace, check, metrics, bench, serve, "
-              f"loadgen, {', '.join(sorted(TARGETS))}"),
+        help=("one of: all, trace, check, metrics, compare, bench, "
+              f"serve, loadgen, {', '.join(sorted(TARGETS))}"),
     )
     parser.add_argument(
         "--scale", default="default", choices=sorted(SCALES),
@@ -711,6 +820,13 @@ def main(argv=None) -> int:
         "--seed", type=int, default=DEFAULT_SEED,
         help=f"simulation seed fed to every cell (default: {DEFAULT_SEED})",
     )
+    from repro.policy import policy_names
+
+    parser.add_argument(
+        "--policy", default="baseline", choices=policy_names(),
+        help="translation policy for the experiment targets "
+             "(default: baseline)",
+    )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result-cache root (default: $SATR_CACHE_DIR or ~/.cache/satr)",
@@ -722,6 +838,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.policy != "baseline":
+        bad = [t for t in (ALL_GROUPS if args.target == "all"
+                           else [args.target])
+               if t not in POLICY_TARGETS]
+        if bad:
+            parser.error(
+                f"--policy does not apply to {', '.join(bad)}; "
+                f"policy-aware targets: "
+                f"{', '.join(sorted(POLICY_TARGETS))}")
     scale = SCALES[args.scale]
 
     telemetry = Telemetry(
@@ -731,6 +856,7 @@ def main(argv=None) -> int:
         orchestrator=Orchestrator(jobs=args.jobs, cache=cache,
                                   telemetry=telemetry),
         seed=args.seed,
+        policy=args.policy,
     )
 
     targets = ALL_GROUPS if args.target == "all" else [args.target]

@@ -23,6 +23,7 @@ from repro.experiments.common import (
     Scale,
     build_runtime,
     format_table,
+    params_with_policy,
     scale_from_params,
     scale_to_params,
 )
@@ -200,7 +201,8 @@ def steady_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     apps = list(scale.apps) if scale.apps else list(APP_PROFILES)
     runtime = build_runtime(params["config"],
                             mode=LayoutMode[params["mode"]],
-                            seed=params["seed"])
+                            seed=params["seed"],
+                            policy=params.get("policy", "baseline"))
     per_app = {}
     for app in apps:
         profile = APP_PROFILES[app]
@@ -227,22 +229,22 @@ def steady_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     return {"label": config_label, "apps": apps, "per_app": per_app}
 
 
-def steady_cells(scale: Scale = DEFAULT,
-                 seed: int = DEFAULT_SEED) -> List[Cell]:
+def steady_cells(scale: Scale = DEFAULT, seed: int = DEFAULT_SEED,
+                 policy: str = "baseline") -> List[Cell]:
     """The four-configuration steady sweep as independent cells."""
     return [
         Cell(
             experiment="steady",
             cell_id=config_label,
             fn="repro.experiments.steady:steady_cell",
-            params={
+            params=params_with_policy({
                 "label": config_label,
                 "config": config_name,
                 "mode": mode.name,
                 "scale": scale_to_params(scale),
                 "seed": seed,
-            },
-            config_fields=kernel_config_fields(config_name),
+            }, policy),
+            config_fields=kernel_config_fields(config_name, policy=policy),
         )
         for config_label, config_name, mode in STEADY_CONFIGS
     ]
@@ -264,10 +266,12 @@ def merge_steady(payloads: List[Dict[str, Any]]) -> SteadyResult:
 
 def run_steady_experiment(scale: Scale = DEFAULT,
                           orchestrator: Optional[Orchestrator] = None,
-                          seed: int = DEFAULT_SEED) -> SteadyResult:
+                          seed: int = DEFAULT_SEED,
+                          policy: str = "baseline") -> SteadyResult:
     """The full steady-state sweep."""
     orchestrator = orchestrator or Orchestrator()
-    return merge_steady(orchestrator.run(steady_cells(scale, seed)))
+    return merge_steady(
+        orchestrator.run(steady_cells(scale, seed, policy)))
 
 
 figure10 = figure11 = figure12 = run_steady_experiment

@@ -40,6 +40,7 @@ from repro.common.cost import CostModel
 from repro.hw.domain import Dacr, DomainAccess
 from repro.hw.pagetable import Pte
 from repro.hw.tlb import TlbEntry
+from repro.policy import NULL_POLICY
 from repro.trace import NULL_TRACER, EventType
 
 #: Synthetic PFN base for kernel text/data; far above any frame the
@@ -83,6 +84,10 @@ class Mmu:
 
     #: Event tracer; the kernel overwrites this when tracing is enabled.
     tracer = NULL_TRACER
+    #: Translation policy; the kernel overwrites this when one is
+    #: configured.  The policy may resolve a main-TLB miss before the
+    #: walk, redirect the level-2 PTE read, and observe fills/evictions.
+    policy = NULL_POLICY
 
     def __init__(self, cost: CostModel) -> None:
         self.cost = cost
@@ -116,19 +121,34 @@ class Mmu:
                 result.main_hit = True
                 micro.insert(entry, key_vpn=vpn)
             else:
-                entry, walk_stall = self._walk(core, task, vaddr)
-                result.walked = True
-                result.translation_stall += walk_stall
-                if entry is None:
-                    result.fault = FaultKind.TRANSLATION
-                    return result
-                core.main_tlb.insert(entry)
-                micro.insert(entry, key_vpn=vpn)
-                tracer = self.tracer
-                if tracer.enabled:
-                    tracer.emit(EventType.TLB_FILL, pid=task.pid,
-                                vaddr=vaddr, cause="user-walk",
-                                value=entry.span_pages)
+                policy = self.policy
+                if policy.active:
+                    # The policy gets first crack at the miss (e.g.
+                    # Victima revives a parked victim at L2-hit cost).
+                    entry, probe_stall = policy.tlb_miss_probe(
+                        core, task, vpn)
+                    result.translation_stall += probe_stall
+                if entry is not None:
+                    result.main_hit = True
+                    micro.insert(entry, key_vpn=vpn)
+                else:
+                    entry, walk_stall = self._walk(core, task, vaddr)
+                    result.walked = True
+                    result.translation_stall += walk_stall
+                    if entry is None:
+                        result.fault = FaultKind.TRANSLATION
+                        return result
+                    victim = core.main_tlb.insert(entry)
+                    if policy.active:
+                        if victim is not None:
+                            policy.on_tlb_evict(core, victim)
+                        policy.on_tlb_fill(core, task, entry)
+                    micro.insert(entry, key_vpn=vpn)
+                    tracer = self.tracer
+                    if tracer.enabled:
+                        tracer.emit(EventType.TLB_FILL, pid=task.pid,
+                                    vaddr=vaddr, cause="user-walk",
+                                    value=entry.span_pages)
 
         result.entry = entry
         return self._check_entry(task.dacr, entry, access, result)
@@ -146,7 +166,14 @@ class Mmu:
         # Level-2 PTE read.  With shared PTPs this physical address is
         # identical across all sharers; with private tables it is not.
         index = pte_index(vaddr)
-        stall += core.caches.walk_read(slot.ptp.pte_paddr(index))
+        pte_paddr = slot.ptp.pte_paddr(index)
+        policy = self.policy
+        if policy.active:
+            # e.g. replicated-pt redirects the read to a node-local
+            # replica of the PTE, changing which cache line it touches.
+            pte_paddr = policy.pte_walk_paddr(
+                core, task, slot.ptp, index, pte_paddr)
+        stall += core.caches.walk_read(pte_paddr)
         pte = slot.ptp.get(index)
         if not Pte.is_valid(pte):
             return None, stall
@@ -219,7 +246,10 @@ class Mmu:
                     domain=DOMAIN_KERNEL,
                     span_pages=PAGES_PER_SECTION,
                 )
-                core.main_tlb.insert(entry)
+                victim = core.main_tlb.insert(entry)
+                policy = self.policy
+                if policy.active and victim is not None:
+                    policy.on_tlb_evict(core, victim)
                 tracer = self.tracer
                 if tracer.enabled:
                     tracer.emit(EventType.TLB_FILL, pid=task.pid,

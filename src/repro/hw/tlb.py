@@ -32,6 +32,7 @@ from repro.common.constants import (
     MICRO_TLB_ENTRIES,
 )
 from repro.common.errors import ConfigError
+from repro.policy import NULL_POLICY
 from repro.trace import NULL_TRACER, EventType
 
 
@@ -94,6 +95,10 @@ class MainTlb:
 
     #: Event tracer; the kernel overwrites this when tracing is enabled.
     tracer = NULL_TRACER
+    #: Translation policy; the kernel overwrites this when one is
+    #: configured.  Flush hooks keep policy-side shadow state (e.g. the
+    #: Victima victim store) in maintenance parity with the hardware.
+    policy = NULL_POLICY
 
     def __init__(
         self,
@@ -153,6 +158,9 @@ class MainTlb:
         for tlb_set in self._sets:
             tlb_set.clear()
         self.stats.record_flush("all", flushed)
+        policy = self.policy
+        if policy.active:
+            policy.on_tlb_flush("all")
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(EventType.TLB_FLUSH, cause="flush-all",
@@ -167,6 +175,9 @@ class MainTlb:
             flushed += len(tlb_set) - len(kept)
             self._sets[index] = kept
         self.stats.record_flush("non-global", flushed)
+        policy = self.policy
+        if policy.active:
+            policy.on_tlb_flush("non-global")
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(EventType.TLB_FLUSH, cause="flush-non-global",
@@ -181,6 +192,9 @@ class MainTlb:
             flushed += len(tlb_set) - len(kept)
             self._sets[index] = kept
         self.stats.record_flush("asid", flushed)
+        policy = self.policy
+        if policy.active:
+            policy.on_tlb_flush("asid", asid=asid)
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(EventType.TLB_FLUSH, cause="flush-asid",
@@ -199,6 +213,9 @@ class MainTlb:
             flushed += len(tlb_set) - len(kept)
             self._sets[index] = kept
         self.stats.record_flush("va", flushed)
+        policy = self.policy
+        if policy.active:
+            policy.on_tlb_flush("va", vpn=vpn)
         tracer = self.tracer
         if tracer.enabled:
             tracer.emit(EventType.TLB_FLUSH, vaddr=vpn << 12,

@@ -54,9 +54,22 @@ class KernelConfig:
     #: Fallback-mode scheduler hint: prefer switching within the
     #: zygote-like / non-zygote group to reduce flushes.
     group_scheduling: bool = False
+    #: Translation policy from the :mod:`repro.policy` registry.  Unlike
+    #: the tracer/checker/sampler (runtime wiring), a policy changes
+    #: simulation semantics, so it is a real config field and enters
+    #: orchestrator cache digests (``kernel_config_fields`` omits the
+    #: default so pre-existing baseline digests are unchanged).
+    policy: str = "baseline"
 
     def validate(self) -> None:
         """Raise ConfigError on an invalid configuration."""
+        from repro.policy import policy_names
+
+        if self.policy not in policy_names():
+            raise ConfigError(
+                f"unknown translation policy {self.policy!r}; known: "
+                f"{', '.join(policy_names())}"
+            )
         if self.share_tlb and self.fork_policy is ForkPolicy.COPY_PTE:
             raise ConfigError(
                 "TLB sharing presumes the zygote fork model, which the "

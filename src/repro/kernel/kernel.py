@@ -30,6 +30,7 @@ from repro.core.ptshare import PageTableManager
 from repro.core.tlbshare import TlbSharePolicy
 from repro.check import NULL_CHECKER
 from repro.metrics import NULL_SAMPLER
+from repro.policy import policy_class
 from repro.trace import NULL_TRACER
 
 
@@ -41,6 +42,12 @@ class Kernel:
                  tracer=None, checker=None, metrics=None) -> None:
         self.platform = platform or Platform()
         self.config = config or KernelConfig()
+        policy_cls = policy_class(self.config.policy)
+        if policy_cls.implied_config:
+            # A policy may imply config fields (nodomain-flush implies
+            # domain_support=False) so one registry name selects the
+            # whole design; apply before validation and TlbSharePolicy.
+            self.config = self.config.with_(**policy_cls.implied_config)
         self.config.validate()
         self.cost = self.platform.cost
         self.memory = self.platform.memory
@@ -67,6 +74,16 @@ class Kernel:
         self.metrics = metrics if metrics is not None else NULL_SAMPLER
         self.metrics.bind_clock(self.sim_time)
 
+        #: The translation policy (see :mod:`repro.policy`).  Unlike the
+        #: three runtime hooks above it IS selected by config — it
+        #: changes semantics, so it must enter cache digests.  Hardware
+        #: objects call through instance attributes, mirroring the
+        #: tracer wiring.
+        self.policy = policy_cls(self)
+        self.platform.mmu.policy = self.policy
+        for core in self.platform.cores:
+            core.main_tlb.policy = self.policy
+
         self.counters = Counters()
         self.page_cache = PageCache(self.memory)
         #: The shared zero page (read-only mapped for untouched
@@ -81,6 +98,7 @@ class Kernel:
             tlb_flush_all=self.platform.flush_all_tlbs,
             tracer=self.tracer,
         )
+        self.ptmgr.policy = self.policy
         self.fault_handler = FaultHandler(self)
         self.syscalls = SyscallInterface(self)
         self.scheduler = Scheduler(self)
@@ -131,6 +149,9 @@ class Kernel:
     def fork(self, parent: Task, name: str) -> "tuple[Task, ForkReport]":
         """Fork a task under the configured policy."""
         result = do_fork(self, parent, name)
+        policy = self.policy
+        if policy.active:
+            policy.on_fork(parent, result[0])
         checker = self.checker
         if checker.enabled:
             checker.after_op(self, "fork")
@@ -195,6 +216,9 @@ class Kernel:
             frame.pfn, writable=writable, user=True, global_=global_,
             executable=executable, large=large,
         ))
+        policy = self.policy
+        if policy.active:
+            policy.on_pte_write(ptp, index)
 
     def put_frame(self, frame: Frame) -> None:
         """Drop a mapping reference; frees anonymous frames at zero.

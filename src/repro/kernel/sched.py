@@ -68,6 +68,9 @@ class Scheduler:
         if kernel.tlbshare.must_flush_globals_on_switch(prev, task):
             report.main_tlb_flushed += core.main_tlb.flush_all()
             report.cycles += kernel.cost.tlb_flush_cost
+        policy = kernel.policy
+        if policy.active:
+            policy.on_context_switch(core, prev, task)
 
         if prev is not None and prev.state is TaskState.RUNNING:
             prev.state = TaskState.RUNNABLE

@@ -79,6 +79,10 @@ METRIC_SPECS = (
                "Faults per thousand executed access events"),
     MetricSpec("satr_live_tasks", "gauge",
                "Tasks that have not exited"),
+    MetricSpec("satr_policy_events_total", "counter",
+               "Translation-policy event counters (repro.policy); the "
+               "baseline policy exposes a single zero 'none' series",
+               label="kind"),
     MetricSpec("satr_forks_total", "counter",
                "Cumulative fork operations"),
     MetricSpec("satr_events_total", "counter",
@@ -153,6 +157,10 @@ def collect(kernel, events_seen: int) -> Dict[str, Any]:
             if events_seen else 0.0
         ),
         "satr_live_tasks": len(live),
+        "satr_policy_events_total": {
+            str(kind): count
+            for kind, count in kernel.policy.event_counts().items()
+        },
         "satr_forks_total": counters.forks,
         "satr_events_total": events_seen,
     }

@@ -77,6 +77,12 @@ def kernel_config_fields(config_name: str, **overrides) -> Dict[str, Any]:
     if overrides:
         config = config.with_(**overrides)
     flat = jsonable(config)
+    if flat.get("policy") == "baseline":
+        # The default translation policy is omitted so digests of
+        # configurations that predate the field are unchanged (cached
+        # baseline results stay valid); any other policy enters the
+        # digest and keys its own cache entries.
+        del flat["policy"]
     flat["name"] = config_name
     return flat
 

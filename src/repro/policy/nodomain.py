@@ -1,0 +1,41 @@
+"""The §3.2.3 domainless ablation, promoted into the policy registry.
+
+The paper's shared-TLB design leans on ARM domains to confine global
+entries to the processes allowed to use them.  Section 3.2.3 describes
+the fallback for hardware without domains: flush *everything* (globals
+included) whenever the scheduler switches between tasks that do not
+share the same global set.  That ablation used to be an ad-hoc
+``domain_support=False`` config flip inside
+``repro.experiments.ablations``; as a policy it rides the same
+registry, digesting, serving and comparison machinery as every other
+translation design.
+
+The mechanism itself already lives in the config/TlbSharePolicy layer
+(``must_flush_globals_on_switch``), so this policy only *implies* the
+config flip and counts the full flushes the fallback causes — the
+ablation's headline cost.
+"""
+
+from typing import Dict, Optional
+
+from repro.policy.base import TranslationPolicy
+
+
+class NoDomainFlushPolicy(TranslationPolicy):
+    """Shared TLB entries without domain hardware: flush-based fallback."""
+
+    name = "nodomain-flush"
+    active = True
+    implied_config = {"domain_support": False}
+
+    def __init__(self, kernel) -> None:
+        super().__init__(kernel)
+        self.counters = {"full-flush": 0}
+
+    def on_tlb_flush(self, kind: str, asid: Optional[int] = None,
+                     vpn: Optional[int] = None) -> None:
+        if kind == "all":
+            self.counters["full-flush"] += 1
+
+    def event_counts(self) -> Dict[str, int]:
+        return dict(self.counters)

@@ -1,0 +1,109 @@
+"""numaPTE-style per-node page-table replication.
+
+numaPTE (Achermann et al. / the PAPERS.md retrieval) replicates page
+tables across NUMA nodes so every hardware walk reads a node-local
+replica, paying for it with write-coherence traffic: every PTE update
+must be propagated to each remote replica.
+
+Mapping onto this simulator (a simulated 2-node topology over the
+4-core platform):
+
+* each address space gets a home node by ASID parity (the scheduler
+  here is single-run deterministic and mostly core-0, so node-by-core
+  would leave node 1 idle; node-by-address-space models the steady
+  state where half the processes live on each node);
+* a hardware walk for a node-1 task reads the level-2 PTE from that
+  node's *replica* at ``paddr + REPLICA_STRIDE`` instead of the
+  primary copy.  Replica lines are distinct L2 lines, so sharers that
+  straddle nodes no longer collapse onto one PTE line — replication
+  deliberately trades the paper's shared-line locality for node-local
+  walks, and the ``satr compare`` walk-cycle gauge shows it;
+* every PTE write (install, write-protect pass at share, copy-out at
+  unshare) counts ``nodes - 1`` replica-sync operations — the
+  coherence cost numaPTE pays on the update path;
+* replica memory overhead: ``nodes - 1`` extra copies of every
+  distinct PTP frame, reported via the ``replica-bytes`` gauge and
+  folded into the ``satr compare`` page-table-bytes column.
+"""
+
+from typing import Dict, Iterable
+
+from repro.common.constants import PAGE_SIZE
+from repro.policy.base import TranslationPolicy
+
+#: Physical-address offset between per-node replicas of the same PTP.
+#: Far above real memory and the Victima victim-store lines, so replica
+#: cache lines never alias anything else.
+REPLICA_STRIDE = 1 << 52
+
+#: Simulated NUMA nodes.
+NUM_NODES = 2
+
+
+class ReplicatedPtPolicy(TranslationPolicy):
+    """Per-node PTP replicas: local walks, write-coherence on update."""
+
+    name = "replicated-pt"
+    active = True
+
+    def __init__(self, kernel) -> None:
+        super().__init__(kernel)
+        self.nodes = NUM_NODES
+        self.counters = {
+            "replica-sync": 0,  # PTE writes propagated to remote replicas
+            "replica-walk": 0,  # walks served from a non-primary replica
+        }
+
+    def node_of(self, task) -> int:
+        """The home node of an address space (ASID parity)."""
+        return task.asid % self.nodes
+
+    # -- walk redirection ---------------------------------------------
+
+    def pte_walk_paddr(self, core, task, ptp, index: int,
+                       paddr: int) -> int:
+        node = self.node_of(task)
+        if node == 0:
+            return paddr
+        self.counters["replica-walk"] += 1
+        return paddr + node * REPLICA_STRIDE
+
+    # -- write coherence ----------------------------------------------
+
+    def on_pte_write(self, ptp, index: int) -> None:
+        self.counters["replica-sync"] += self.nodes - 1
+
+    def on_ptp_share(self, ptp, protected: int) -> None:
+        # The share-time write-protect pass rewrites ``protected`` PTEs;
+        # each rewrite must reach every remote replica.
+        self.counters["replica-sync"] += protected * (self.nodes - 1)
+
+    def on_ptp_unshare(self, ptp, trigger: str, copied: int) -> None:
+        # Copy-out writes ``copied`` PTEs into the fresh private PTP.
+        self.counters["replica-sync"] += copied * (self.nodes - 1)
+
+    # -- introspection ------------------------------------------------
+
+    def replica_bytes(self) -> int:
+        """Extra page-table bytes held by remote replicas right now."""
+        frames: Dict[int, int] = {}
+        for task in self.kernel.live_tasks():
+            for _, slot in task.mm.tables.populated_slots():
+                frames[slot.ptp.frame.pfn] = 1
+        return (self.nodes - 1) * len(frames) * PAGE_SIZE
+
+    def event_counts(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+    def gauges(self) -> Dict[str, float]:
+        gauges = dict(self.counters)
+        gauges["replica-bytes"] = self.replica_bytes()
+        return gauges
+
+    def check_invariants(self) -> Iterable[str]:
+        step = self.nodes - 1
+        if step and self.counters["replica-sync"] % step:
+            yield (
+                f"replica-sync count {self.counters['replica-sync']} is "
+                f"not a multiple of {step} remote replicas"
+            )

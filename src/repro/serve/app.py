@@ -179,8 +179,15 @@ class ServeApp:
                 telemetry=telemetry,
                 coalescer=self.coalescer,
             )
-            plan = self.targets[request.target](SCALES[request.scale],
-                                                request.seed)
+            # The policy kwarg is only passed when non-default so
+            # custom (scale, seed)-only planners keep working.
+            if request.policy != "baseline":
+                plan = self.targets[request.target](
+                    SCALES[request.scale], request.seed,
+                    policy=request.policy)
+            else:
+                plan = self.targets[request.target](SCALES[request.scale],
+                                                    request.seed)
             payloads = orchestrator.run(plan.cells)
             report = plan.render(payloads)
             self.registry.finish(record, report,

@@ -3,7 +3,7 @@
 A scenario request is one small JSON object::
 
     {"target": "fork", "scale": "quick", "seed": 7,
-     "jobs": 1, "no_cache": false, "wait": true}
+     "policy": "victima", "jobs": 1, "no_cache": false, "wait": true}
 
 ``validate_schema`` is a dependency-free validator for the JSON-schema
 subset the server needs (object/string/integer/boolean types,
@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments.common import DEFAULT_SEED, SCALES
 from repro.orchestrate import canonical_json
+from repro.policy import policy_names
 
 #: The scenario targets the daemon serves (each is one `satr` group).
 SERVE_TARGETS = ("fork", "launch", "steady", "ipc")
@@ -107,6 +108,7 @@ def request_schema(
         "properties": {
             "target": {"type": "string", "enum": sorted(targets)},
             "scale": {"type": "string", "enum": sorted(SCALES)},
+            "policy": {"type": "string", "enum": sorted(policy_names())},
             "seed": {"type": "integer", "minimum": 0},
             "jobs": {"type": "integer", "minimum": 1, "maximum": MAX_JOBS},
             "no_cache": {"type": "boolean"},
@@ -121,6 +123,7 @@ class RunRequest:
 
     target: str
     scale: str = DEFAULT_SCALE
+    policy: str = "baseline"
     seed: int = DEFAULT_SEED
     jobs: int = 1
     no_cache: bool = False
@@ -136,6 +139,7 @@ class RunRequest:
         return cls(
             target=value["target"],
             scale=value.get("scale", DEFAULT_SCALE),
+            policy=value.get("policy", "baseline"),
             seed=value.get("seed", DEFAULT_SEED),
             jobs=value.get("jobs", 1),
             no_cache=value.get("no_cache", False),
@@ -147,6 +151,7 @@ class RunRequest:
         semantic = {
             "target": self.target,
             "scale": self.scale,
+            "policy": self.policy,
             "seed": self.seed,
             "no_cache": self.no_cache,
         }
@@ -158,6 +163,7 @@ class RunRequest:
         return {
             "target": self.target,
             "scale": self.scale,
+            "policy": self.policy,
             "seed": self.seed,
             "jobs": self.jobs,
             "no_cache": self.no_cache,

@@ -187,6 +187,22 @@ class TestRunRequest:
         assert base.key() != RunRequest(target="fork", scale="quick",
                                         seed=7, no_cache=True).key()
 
+    def test_policy_field_defaults_and_keys(self):
+        request = RunRequest.from_json({"target": "fork",
+                                        "policy": "victima"})
+        assert request.policy == "victima"
+        assert RunRequest.from_json({"target": "fork"}).policy == "baseline"
+        base = RunRequest(target="fork")
+        assert base.key() != RunRequest(target="fork",
+                                        policy="victima").key()
+        assert request.describe()["policy"] == "victima"
+
+    def test_unknown_policy_rejected_with_problem(self):
+        with pytest.raises(RequestError) as excinfo:
+            RunRequest.from_json({"target": "fork", "policy": "nope"})
+        assert any(".policy" in problem
+                   for problem in excinfo.value.problems)
+
 
 class TestRunRegistry:
     def test_identical_inflight_requests_share_a_record(self):
@@ -243,6 +259,9 @@ class TestHttpBasics:
         assert any("target" in p for p in body["problems"])
         status, body = _post(url, {"target": "fork", "scale": "huge"})
         assert status == 400
+        status, body = _post(url, {"target": "fork", "policy": "bogus"})
+        assert status == 400
+        assert any(".policy" in p for p in body["problems"])
         request = urllib.request.Request(
             f"{url}/run", data=b"not json{",
             headers={"Content-Type": "application/json"}, method="POST")
