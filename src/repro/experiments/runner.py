@@ -64,13 +64,38 @@ p50/p95/p99 latency and throughput (``BENCH_serve.json`` baseline)::
 
     satr loadgen --url http://127.0.0.1:8080 --targets fork,ipc \\
         --concurrency 4 --requests 40 -o BENCH_serve.json
+
+The ``workers`` subcommand runs the persistent warm-worker pool
+daemon (see :mod:`repro.distrib`): N workers import ``repro`` once
+and serve cell execution over a unix or TCP socket.  Every cell
+subcommand can then dispatch to it with ``--executor distrib`` (or
+just by exporting ``$SATR_WORKERS``)::
+
+    satr workers --address unix:/tmp/satr.sock -n 4
+    satr compare --scale quick --executor distrib \\
+        --workers-at unix:/tmp/satr.sock
+    SATR_WORKERS=unix:/tmp/satr.sock satr all --scale quick
+
+The ``sweep`` subcommand streams a target's cells into a JSONL
+manifest with O(1) resident payloads, and ``--since`` re-executes only
+cells whose config digest changed since a previous manifest::
+
+    satr sweep fork --scale quick -o sweep-fork.jsonl
+    satr sweep fork --scale quick --seed 11 -o sweep-fork.jsonl \\
+        --since sweep-fork.jsonl
+
+The ``cache`` subcommand inspects or prunes the result cache::
+
+    satr cache stats
+    satr cache prune --max-bytes 2G --max-age 14d
 """
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.experiments import ablations, fork, ipc, launch, motivation, steady
 from repro.experiments.common import (
@@ -85,7 +110,9 @@ from repro.orchestrate import (
     Orchestrator,
     ResultCache,
     Telemetry,
+    fold_ordered,
     kernel_config_fields,
+    make_executor,
 )
 
 
@@ -177,17 +204,36 @@ def _join_reports(payloads: List[Dict[str, Any]]) -> str:
 
 @dataclass
 class TargetPlan:
-    """What one target needs: its cells and how to render their output."""
+    """What one target needs: its cells and how to render their output.
+
+    ``fold``/``fold_initial``/``fold_render`` are the optional
+    streaming merge: when present, ``run_target`` folds payloads as
+    cells complete (via ``Orchestrator.run_iter``) instead of
+    materialising the payload list, and ``fold_render(acc)`` must
+    produce the same bytes ``render(payloads)`` would.
+    """
 
     cells: List[Cell]
     render: Callable[[List[Any]], str]
+    fold: Optional[Callable[[Any, int, Any], Any]] = None
+    fold_initial: Optional[Callable[[], Any]] = None
+    fold_render: Optional[Callable[[Any], str]] = None
+
+
+def _join_fold(acc: List[str], index: int,
+               payload: Dict[str, Any]) -> List[str]:
+    """Streaming counterpart of ``_join_reports``: keep only the text."""
+    acc.append(payload["report"])
+    return acc
 
 
 def _rendered_planner(artefacts: List[str]) -> Callable[[Scale, int],
                                                         TargetPlan]:
     def planner(scale: Scale, seed: int) -> TargetPlan:
         return TargetPlan(rendered_cells(artefacts, scale, seed),
-                          _join_reports)
+                          _join_reports,
+                          fold=_join_fold, fold_initial=list,
+                          fold_render="\n\n".join)
     return planner
 
 
@@ -297,10 +343,83 @@ def plan_target(target: str, scale: Scale, seed: int = DEFAULT_SEED,
 
 def run_target(target: str, scale: Scale,
                ctx: RunContext = None) -> str:
-    """Run one named experiment target and return its report."""
+    """Run one named experiment target and return its report.
+
+    Plans that carry a streaming fold run through ``run_iter`` and
+    merge incrementally; both paths produce byte-identical reports.
+    """
     ctx = ctx or RunContext()
     plan = plan_target(target, scale, ctx.seed, ctx.policy)
+    if plan.fold is not None:
+        acc = fold_ordered(ctx.orchestrator.run_iter(plan.cells),
+                           plan.fold, plan.fold_initial(),
+                           total=len(plan.cells))
+        return plan.fold_render(acc)
     return plan.render(ctx.orchestrator.run(plan.cells))
+
+
+# ---------------------------------------------------------------------------
+# Shared executor/cache plumbing for the cell-running subcommands.
+# ---------------------------------------------------------------------------
+
+EXECUTOR_KINDS = ("serial", "pool", "distrib")
+
+
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    """The executor/cache flags every cell-running subcommand shares."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the pool executor (default: 1)")
+    parser.add_argument(
+        "--executor", default=None, choices=EXECUTOR_KINDS,
+        help="cell executor (default: distrib when $SATR_WORKERS or "
+             "--workers-at names a pool, pool when --jobs > 1, else "
+             "serial)")
+    parser.add_argument(
+        "--workers-at", default=None, metavar="ADDR",
+        help="worker-pool address for the distrib executor, "
+             "unix:/path.sock or tcp:HOST:PORT (default: $SATR_WORKERS; "
+             "start a pool with 'satr workers')")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache root (default: $SATR_CACHE_DIR or "
+             "~/.cache/satr)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell; neither read nor write the cache")
+
+
+def _pick_executor(args: argparse.Namespace,
+                   parser: argparse.ArgumentParser) -> Any:
+    """Resolve the executor from --executor/--workers-at/$SATR_WORKERS."""
+    from repro.distrib.protocol import default_address
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    kind = args.executor
+    if kind is None:
+        if args.workers_at or default_address():
+            kind = "distrib"
+        elif args.jobs > 1:
+            kind = "pool"
+        else:
+            kind = "serial"
+    try:
+        return make_executor(kind, jobs=args.jobs, address=args.workers_at)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
+def _build_orchestrator(args: argparse.Namespace,
+                        parser: argparse.ArgumentParser):
+    """(orchestrator, telemetry) from the shared executor/cache flags."""
+    telemetry = Telemetry(
+        progress=lambda line: print(line, file=sys.stderr, flush=True))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    orchestrator = Orchestrator(
+        jobs=args.jobs, cache=cache, telemetry=telemetry,
+        executor=_pick_executor(args, parser))
+    return orchestrator, telemetry
 
 
 def trace_main(argv) -> int:
@@ -330,12 +449,8 @@ def trace_main(argv) -> int:
     parser.add_argument("-o", "--output", default=None, metavar="PATH",
                         help="output file (default: trace-<target>.json "
                              "or .jsonl)")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N")
-    parser.add_argument("--cache-dir", default=None, metavar="DIR")
-    parser.add_argument("--no-cache", action="store_true")
+    _add_exec_args(parser)
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
     if args.ring_size < 1:
         parser.error("--ring-size must be >= 1")
     scale = SCALES[args.scale]
@@ -344,11 +459,7 @@ def trace_main(argv) -> int:
         else f"trace-{args.target}.jsonl"
     )
 
-    telemetry = Telemetry(
-        progress=lambda line: print(line, file=sys.stderr, flush=True))
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    orchestrator = Orchestrator(jobs=args.jobs, cache=cache,
-                                telemetry=telemetry)
+    orchestrator, telemetry = _build_orchestrator(args, parser)
 
     started = time.time()
     result = tracing.run_trace(args.target, scale,
@@ -399,21 +510,13 @@ def check_main(argv) -> int:
                         help="translation policy for the sharing cell "
                              "(the stock oracle reference stays "
                              "baseline; default: baseline)")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N")
-    parser.add_argument("--cache-dir", default=None, metavar="DIR")
-    parser.add_argument("--no-cache", action="store_true")
+    _add_exec_args(parser)
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
     if args.every < 0:
         parser.error("--every must be >= 0")
     scale = SCALES[args.scale]
 
-    telemetry = Telemetry(
-        progress=lambda line: print(line, file=sys.stderr, flush=True))
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    orchestrator = Orchestrator(jobs=args.jobs, cache=cache,
-                                telemetry=telemetry)
+    orchestrator, telemetry = _build_orchestrator(args, parser)
 
     started = time.time()
     result = checking.run_check(args.target, scale,
@@ -460,21 +563,13 @@ def metrics_main(argv) -> int:
     parser.add_argument("-o", "--output", default=None, metavar="PATH",
                         help="output file for prom/jsonl (default: "
                              "metrics-<target>.prom or .jsonl)")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N")
-    parser.add_argument("--cache-dir", default=None, metavar="DIR")
-    parser.add_argument("--no-cache", action="store_true")
+    _add_exec_args(parser)
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
     if args.every < 0:
         parser.error("--every must be >= 0")
     scale = SCALES[args.scale]
 
-    telemetry = Telemetry(
-        progress=lambda line: print(line, file=sys.stderr, flush=True))
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    orchestrator = Orchestrator(jobs=args.jobs, cache=cache,
-                                telemetry=telemetry)
+    orchestrator, telemetry = _build_orchestrator(args, parser)
 
     started = time.time()
     result = metricscells.run_metrics(args.target, scale,
@@ -525,12 +620,8 @@ def compare_main(argv) -> int:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("-o", "--output", default=None, metavar="PATH",
                         help="also write the matrix as canonical JSON")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N")
-    parser.add_argument("--cache-dir", default=None, metavar="DIR")
-    parser.add_argument("--no-cache", action="store_true")
+    _add_exec_args(parser)
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
     targets = [t for t in args.targets.split(",") if t]
     unknown = sorted(set(targets) - set(compare.COMPARE_TARGETS))
     if unknown:
@@ -545,16 +636,19 @@ def compare_main(argv) -> int:
                          f"from {known_policies}")
     scale = SCALES[args.scale]
 
-    telemetry = Telemetry(
-        progress=lambda line: print(line, file=sys.stderr, flush=True))
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    orchestrator = Orchestrator(jobs=args.jobs, cache=cache,
-                                telemetry=telemetry)
+    orchestrator, telemetry = _build_orchestrator(args, parser)
 
     started = time.time()
-    result = compare.run_compare(targets, policies, scale,
-                                 orchestrator=orchestrator,
-                                 seed=args.seed)
+    if args.output:
+        # -o needs every payload for the JSON dump: buffered merge.
+        result = compare.run_compare(targets, policies, scale,
+                                     orchestrator=orchestrator,
+                                     seed=args.seed)
+    else:
+        # Streaming merge: payloads fold to rows as cells complete.
+        result = compare.run_compare_stream(targets, policies, scale,
+                                            orchestrator=orchestrator,
+                                            seed=args.seed)
     elapsed = time.time() - started
     print(f"[satr] compare: {elapsed:.1f}s", file=sys.stderr)
     print(f"=== compare (scale={scale.name}) ===")
@@ -672,6 +766,11 @@ def serve_main(argv) -> int:
                              "(handy with --port 0)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR")
     parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--worker-pool", default=None, metavar="ADDR",
+                        help="dispatch run cells to a warm-worker pool "
+                             "('satr workers') at unix:/path.sock or "
+                             "tcp:HOST:PORT instead of executing "
+                             "in-process")
     parser.add_argument("--verbose", action="store_true",
                         help="log each HTTP request to stderr")
     args = parser.parse_args(argv)
@@ -684,7 +783,8 @@ def serve_main(argv) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     app = ServeApp(cache=cache, workers=args.workers,
-                   queue_limit=args.queue_limit)
+                   queue_limit=args.queue_limit,
+                   worker_address=args.worker_pool)
     server = make_server(args.host, args.port, app, verbose=args.verbose)
     print(f"[satr] serve: listening on http://{args.host}:{server.port} "
           f"({args.workers} worker(s), cache "
@@ -779,6 +879,212 @@ def loadgen_main(argv) -> int:
     return 0 if report["errors"] == 0 else 1
 
 
+def workers_main(argv) -> int:
+    """The ``satr workers`` subcommand: the warm-worker pool daemon."""
+    import json as _json
+
+    from repro.distrib import DEFAULT_SOCKET, fetch_pool_stats, run_daemon
+    from repro.distrib.protocol import default_address
+
+    parser = argparse.ArgumentParser(
+        prog="satr workers",
+        description=("Run the persistent warm-worker pool: N workers "
+                     "import repro once and serve cell execution over "
+                     "a unix or TCP socket (length-prefixed canonical-"
+                     "JSON frames).  Point any satr subcommand at it "
+                     "with --executor distrib / $SATR_WORKERS.  SIGTERM "
+                     "drains: queued cells finish, workers stop, exit 0."),
+    )
+    parser.add_argument("--address", default=None, metavar="ADDR",
+                        help="unix:/path.sock or tcp:HOST:PORT (default: "
+                             f"$SATR_WORKERS or {DEFAULT_SOCKET})")
+    parser.add_argument("-n", "--workers", type=int, default=2, metavar="N",
+                        help="warm worker processes (default: 2)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell budget; an over-budget cell kills "
+                             "its worker and the client runs the cell "
+                             "in-process (default: none)")
+    parser.add_argument("--address-file", default=None, metavar="PATH",
+                        help="write the bound address here once "
+                             "listening (handy with tcp:127.0.0.1:0)")
+    parser.add_argument("--stats", action="store_true",
+                        help="query a running daemon's stats as JSON "
+                             "and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the daemon's stderr log lines")
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error("--cell-timeout must be > 0")
+    address = args.address or default_address() or DEFAULT_SOCKET
+    if args.stats:
+        try:
+            stats = fetch_pool_stats(address)
+        except (OSError, ValueError, RuntimeError) as exc:
+            print(f"[satr] workers: no pool at {address} ({exc})",
+                  file=sys.stderr)
+            return 1
+        print(_json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    return run_daemon(address, args.workers,
+                      cell_timeout=args.cell_timeout, quiet=args.quiet,
+                      address_file=args.address_file)
+
+
+def _parse_size(text: str, parser: argparse.ArgumentParser) -> int:
+    """``500M``/``2G``-style sizes to bytes (K/M/G/T, binary units)."""
+    units = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3, "T": 1024 ** 4}
+    raw = text.strip()
+    factor = 1
+    if raw and raw[-1].upper() in units:
+        factor = units[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        parser.error(f"bad size {text!r}; use e.g. 500M, 2G")
+    if value < 0:
+        parser.error(f"size {text!r} must be >= 0")
+    return int(value * factor)
+
+
+def _parse_age(text: str, parser: argparse.ArgumentParser) -> float:
+    """``36h``/``14d``-style ages to seconds (s/m/h/d/w)."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0,
+             "w": 7 * 86400.0}
+    raw = text.strip()
+    factor = units["s"]
+    if raw and raw[-1].lower() in units:
+        factor = units[raw[-1].lower()]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        parser.error(f"bad age {text!r}; use e.g. 90s, 36h, 14d")
+    if value < 0:
+        parser.error(f"age {text!r} must be >= 0")
+    return value * factor
+
+
+def _human_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(count) < 1024 or unit == "GiB":
+            return (f"{count:.0f} {unit}" if unit == "B"
+                    else f"{count:.1f} {unit}")
+        count /= 1024
+    return f"{count:.1f} GiB"
+
+
+def cache_main(argv) -> int:
+    """The ``satr cache`` subcommand: stats and prune."""
+    parser = argparse.ArgumentParser(
+        prog="satr cache",
+        description=("Inspect (stats) or bound (prune) the content-"
+                     "addressed result cache.  Prune evicts by age "
+                     "first, then oldest-first until the survivors fit "
+                     "--max-bytes."),
+    )
+    parser.add_argument("action", choices=("stats", "prune"))
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache root (default: $SATR_CACHE_DIR or "
+                             "~/.cache/satr)")
+    parser.add_argument("--max-bytes", default=None, metavar="SIZE",
+                        help="prune: total artifact budget, e.g. 500M, 2G")
+    parser.add_argument("--max-age", default=None, metavar="AGE",
+                        help="prune: drop artifacts older than AGE, "
+                             "e.g. 36h, 14d")
+    args = parser.parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"artifacts:  {stats['artifacts']}")
+        print(f"size:       {_human_bytes(stats['bytes'])} "
+              f"({stats['bytes']} bytes)")
+        if stats["artifacts"]:
+            now = time.time()
+            print(f"oldest:     {(now - stats['oldest_mtime']) / 3600:.1f}h "
+                  f"ago")
+            print(f"newest:     {(now - stats['newest_mtime']) / 3600:.1f}h "
+                  f"ago")
+        return 0
+    if args.max_bytes is None and args.max_age is None:
+        parser.error("prune needs --max-bytes and/or --max-age")
+    max_bytes = (None if args.max_bytes is None
+                 else _parse_size(args.max_bytes, parser))
+    max_age = (None if args.max_age is None
+               else _parse_age(args.max_age, parser))
+    before = cache.stats()
+    result = cache.prune(max_bytes=max_bytes, max_age_seconds=max_age)
+    after = cache.stats()
+    print(f"pruned {result['removed']} artifact(s), "
+          f"{_human_bytes(result['removed_bytes'])} freed; "
+          f"{after['artifacts']} of {before['artifacts']} remain "
+          f"({_human_bytes(after['bytes'])})")
+    return 0
+
+
+def sweep_main(argv) -> int:
+    """The ``satr sweep`` subcommand: streaming manifest sweeps."""
+    from repro.experiments import sweep
+    from repro.policy import policy_names
+
+    parser = argparse.ArgumentParser(
+        prog="satr sweep",
+        description=("Stream one target's cells into a JSONL manifest "
+                     "(header + one canonical payload line per cell, "
+                     "plan order) holding O(1) payloads resident.  "
+                     "--since reuses every cell whose config digest is "
+                     "unchanged from a previous manifest, re-executing "
+                     "only what changed."),
+    )
+    parser.add_argument("target",
+                        help=f"one of: {', '.join(sorted(TARGETS))}")
+    parser.add_argument("--scale", default="default",
+                        choices=sorted(SCALES))
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--policy", default="baseline",
+                        choices=policy_names())
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="manifest path (default: "
+                             "sweep-<target>.jsonl)")
+    parser.add_argument("--since", default=None, metavar="MANIFEST",
+                        help="previous manifest to reuse unchanged cells "
+                             "from (may be the output path itself; "
+                             "silently ignored if absent)")
+    parser.add_argument("--render", action="store_true",
+                        help="also print the target's report from the "
+                             "written manifest (loads every payload — "
+                             "O(n) memory)")
+    _add_exec_args(parser)
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+    plan = plan_target(args.target, scale, args.seed, args.policy)
+    orchestrator, telemetry = _build_orchestrator(args, parser)
+    output = args.output or f"sweep-{args.target}.jsonl"
+    since = args.since
+    if since is not None and not os.path.exists(since):
+        print(f"[satr] sweep: --since {since} not found; running "
+              f"every cell", file=sys.stderr)
+        since = None
+
+    started = time.time()
+    result = sweep.run_sweep(args.target, plan.cells, orchestrator,
+                             output, scale.name, args.seed,
+                             policy=args.policy, since=since)
+    elapsed = time.time() - started
+    print(f"[satr] {result.render()} ({elapsed:.1f}s)", file=sys.stderr)
+    if args.render:
+        payloads = sweep.load_manifest_payloads(output)
+        print(f"=== {args.target} (scale={scale.name}) ===")
+        print(plan.render(payloads))
+        print()
+    print(telemetry.summary(), file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
@@ -797,6 +1103,12 @@ def main(argv=None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "loadgen":
         return loadgen_main(argv[1:])
+    if argv and argv[0] == "workers":
+        return workers_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="satr",
         description=("Shared Address Translation Revisited (EuroSys'16) — "
@@ -806,15 +1118,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "target",
         help=("one of: all, trace, check, metrics, compare, bench, "
-              f"serve, loadgen, {', '.join(sorted(TARGETS))}"),
+              "serve, loadgen, workers, sweep, cache, "
+              f"{', '.join(sorted(TARGETS))}"),
     )
     parser.add_argument(
         "--scale", default="default", choices=sorted(SCALES),
         help="experiment sizing (quick ~seconds, paper ~many minutes)",
-    )
-    parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for cell execution (default: 1, serial)",
     )
     parser.add_argument(
         "--seed", type=int, default=DEFAULT_SEED,
@@ -827,17 +1136,8 @@ def main(argv=None) -> int:
         help="translation policy for the experiment targets "
              "(default: baseline)",
     )
-    parser.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="result-cache root (default: $SATR_CACHE_DIR or ~/.cache/satr)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="recompute every cell; neither read nor write the cache",
-    )
+    _add_exec_args(parser)
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
     if args.policy != "baseline":
         bad = [t for t in (ALL_GROUPS if args.target == "all"
                            else [args.target])
@@ -849,12 +1149,9 @@ def main(argv=None) -> int:
                 f"{', '.join(sorted(POLICY_TARGETS))}")
     scale = SCALES[args.scale]
 
-    telemetry = Telemetry(
-        progress=lambda line: print(line, file=sys.stderr, flush=True))
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    orchestrator, telemetry = _build_orchestrator(args, parser)
     ctx = RunContext(
-        orchestrator=Orchestrator(jobs=args.jobs, cache=cache,
-                                  telemetry=telemetry),
+        orchestrator=orchestrator,
         seed=args.seed,
         policy=args.policy,
     )

@@ -34,7 +34,13 @@ from repro.orchestrate.cells import (
     kernel_config_fields,
     resolve_cell_fn,
 )
+from repro.orchestrate.executor import (
+    PoolExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.orchestrate.orchestrator import Orchestrator
+from repro.orchestrate.stream import FoldStats, fold_ordered
 from repro.orchestrate.telemetry import CellRecord, Telemetry
 
 __all__ = [
@@ -42,10 +48,15 @@ __all__ = [
     "Cell",
     "CellRecord",
     "CoalesceError",
+    "FoldStats",
     "InflightCoalescer",
     "Orchestrator",
+    "PoolExecutor",
     "ResultCache",
+    "SerialExecutor",
     "Telemetry",
+    "fold_ordered",
+    "make_executor",
     "canonical_json",
     "canonicalize",
     "default_cache_dir",

@@ -21,7 +21,8 @@ import json
 import os
 import sys
 import tempfile
-from typing import Any, Dict, Optional
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro import __version__
 
@@ -91,3 +92,116 @@ class ResultCache:
                     f"writable ({exc}); continuing uncached",
                     file=sys.stderr,
                 )
+
+    # -- size/age accounting and pruning --------------------------------
+
+    def artifacts(self) -> Iterator[Tuple[str, int, float]]:
+        """Every stored artifact as ``(path, bytes, mtime)``.
+
+        Walks only the two-hex-digit shard directories, so foreign
+        files under the root (sweep manifests, stray notes) are never
+        counted — and never pruned.
+        """
+        try:
+            shards = sorted(os.listdir(self.root))
+        except OSError:
+            return
+        for shard in shards:
+            if len(shard) != 2:
+                continue
+            shard_dir = os.path.join(self.root, shard)
+            try:
+                names = sorted(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue  # Raced with a concurrent prune.
+                yield path, stat.st_size, stat.st_mtime
+
+    def stats(self) -> Dict[str, Any]:
+        """Totals for ``satr cache stats``: count, bytes, age range."""
+        count = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for _, size, mtime in self.artifacts():
+            count += 1
+            total_bytes += size
+            oldest = mtime if oldest is None else min(oldest, mtime)
+            newest = mtime if newest is None else max(newest, mtime)
+        return {
+            "root": self.root,
+            "artifacts": count,
+            "bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def prune(self, max_bytes: Optional[int] = None,
+              max_age_seconds: Optional[float] = None,
+              now: Optional[float] = None) -> Dict[str, Any]:
+        """Delete artifacts over an age or size budget.
+
+        Age first (anything older than ``max_age_seconds`` goes), then
+        size: oldest-first eviction until the survivors fit in
+        ``max_bytes`` — LRU by mtime, since ``store`` rewrites an
+        artifact's mtime on every recompute.  Deletion failures are
+        skipped, matching the cache's nothing-here-is-fatal contract.
+        """
+        now = time.time() if now is None else now
+        kept = []  # (mtime, path, size) — prune candidates, oldest first.
+        removed = 0
+        removed_bytes = 0
+        for path, size, mtime in self.artifacts():
+            if (max_age_seconds is not None
+                    and now - mtime > max_age_seconds):
+                if self._unlink(path):
+                    removed += 1
+                    removed_bytes += size
+                continue
+            kept.append((mtime, path, size))
+        if max_bytes is not None:
+            kept.sort()  # Oldest first.
+            total = sum(size for _, _, size in kept)
+            for mtime, path, size in kept:
+                if total <= max_bytes:
+                    break
+                if self._unlink(path):
+                    removed += 1
+                    removed_bytes += size
+                    total -= size
+        for shard in self._empty_shards():
+            try:
+                os.rmdir(shard)
+            except OSError:
+                pass
+        return {"removed": removed, "removed_bytes": removed_bytes}
+
+    @staticmethod
+    def _unlink(path: str) -> bool:
+        try:
+            os.unlink(path)
+        except OSError:
+            return False
+        return True
+
+    def _empty_shards(self) -> Iterator[str]:
+        try:
+            shards = os.listdir(self.root)
+        except OSError:
+            return
+        for shard in shards:
+            if len(shard) != 2:
+                continue
+            shard_dir = os.path.join(self.root, shard)
+            try:
+                if not os.listdir(shard_dir):
+                    yield shard_dir
+            except OSError:
+                continue

@@ -17,7 +17,8 @@ never wrong.
 import sys
 import time
 import warnings
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import (Any, Callable, Dict, Iterable, Iterator, List,
+                    Optional, Tuple)
 
 from repro.orchestrate.cells import execute_cell
 
@@ -25,6 +26,18 @@ from repro.orchestrate.cells import execute_cell
 WorkItem = Tuple[int, Dict[str, Any]]
 #: (index, payload, elapsed seconds) — what executors produce.
 CellRun = Tuple[int, Any, float]
+#: Called with a human-readable reason whenever an executor degrades
+#: to in-process execution; orchestrator telemetry and the
+#: ``satr_executor_fallbacks_total`` counter hang off it.
+FallbackHook = Optional[Callable[[str], None]]
+
+
+def _announce_fallback(on_fallback: FallbackHook, reason: str) -> None:
+    """Route a degradation through the hook, or warn if nobody listens."""
+    if on_fallback is not None:
+        on_fallback(reason)
+    else:
+        warnings.warn(reason, RuntimeWarning, stacklevel=3)
 
 
 def _run_one(item: WorkItem) -> CellRun:
@@ -64,13 +77,16 @@ def run_serial(items: Iterable[WorkItem]) -> List[CellRun]:
     return [_run_one(item) for item in items]
 
 
-def run_parallel(items: List[WorkItem], jobs: int) -> List[CellRun]:
+def run_parallel(items: List[WorkItem], jobs: int,
+                 on_fallback: FallbackHook = None) -> List[CellRun]:
     """Execute work items on a spawn process pool; results in input order.
 
     Any failure to *operate the pool itself* (creation, worker startup,
     a broken pool) falls back to serial execution of the not-yet-done
-    items.  Exceptions raised by a cell function propagate unchanged —
-    a deterministic cell that fails in a worker fails serially too.
+    items, announced through ``on_fallback`` (or a ``RuntimeWarning``
+    when no hook is given).  Exceptions raised by a cell function
+    propagate unchanged — a deterministic cell that fails in a worker
+    fails serially too.
     """
     if jobs <= 1 or len(items) <= 1:
         return run_serial(items)
@@ -93,10 +109,10 @@ def run_parallel(items: List[WorkItem], jobs: int) -> List[CellRun]:
                 raise _PoolUnavailable("process pool died mid-run")
     except (_PoolUnavailable, ImportError, OSError, PermissionError,
             ValueError) as exc:
-        warnings.warn(
-            f"parallel execution unavailable ({exc}); running serially",
-            RuntimeWarning, stacklevel=2,
-        )
+        _announce_fallback(
+            on_fallback,
+            f"parallel execution unavailable ({exc}); running "
+            f"{len(items) - len(done)} remaining cells serially")
         remaining = [item for item in items if item[0] not in done]
         return sorted(
             list(done.values()) + run_serial(remaining),
@@ -107,3 +123,118 @@ def run_parallel(items: List[WorkItem], jobs: int) -> List[CellRun]:
 
 class _PoolUnavailable(Exception):
     """Internal: the pool itself (not a cell) failed."""
+
+
+# ---------------------------------------------------------------------------
+# The executor objects: one seam the orchestrator drives.
+# ---------------------------------------------------------------------------
+#
+# Every executor exposes the same two methods:
+#
+#   run(items, on_fallback)      -> List[CellRun] in **input order**
+#   run_iter(items, on_fallback) -> Iterator[CellRun] in **completion
+#                                   order** (the streaming-merge feed)
+#
+# ``repro.distrib.DistribExecutor`` implements the same surface for the
+# warm-worker pool; the orchestrator neither knows nor cares which one
+# it holds — byte-identity of the merged report is the shared contract.
+
+
+class SerialExecutor:
+    """In-process, one cell after another.  The reference executor."""
+
+    name = "serial"
+
+    def run(self, items: List[WorkItem],
+            on_fallback: FallbackHook = None) -> List[CellRun]:
+        return run_serial(items)
+
+    def run_iter(self, items: Iterable[WorkItem],
+                 on_fallback: FallbackHook = None) -> Iterator[CellRun]:
+        for item in items:
+            yield _run_one(item)
+
+
+class PoolExecutor:
+    """The spawn process pool, with the serial-fallback ladder."""
+
+    name = "pool"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, items: List[WorkItem],
+            on_fallback: FallbackHook = None) -> List[CellRun]:
+        return run_parallel(items, self.jobs, on_fallback)
+
+    def run_iter(self, items: Iterable[WorkItem],
+                 on_fallback: FallbackHook = None) -> Iterator[CellRun]:
+        """Completion-order results off a spawn pool.
+
+        Same degradation ladder as :func:`run_parallel`: if the pool
+        itself fails, the not-yet-yielded cells run in-process.  Cell
+        exceptions propagate unchanged.
+        """
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            for item in items:
+                yield _run_one(item)
+            return
+        done = set()
+        try:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+            from concurrent.futures.process import BrokenProcessPool
+
+            context = multiprocessing.get_context("spawn")
+            workers = min(self.jobs, len(items))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context,
+                initializer=_init_worker, initargs=(_package_paths(),),
+            ) as pool:
+                futures = [pool.submit(_run_one, item) for item in items]
+                try:
+                    for future in as_completed(futures):
+                        run = future.result()
+                        done.add(run[0])
+                        yield run
+                except BrokenProcessPool:
+                    raise _PoolUnavailable("process pool died mid-run")
+        except (_PoolUnavailable, ImportError, OSError, PermissionError,
+                ValueError) as exc:
+            _announce_fallback(
+                on_fallback,
+                f"parallel execution unavailable ({exc}); running "
+                f"{len(items) - len(done)} remaining cells serially")
+            for item in items:
+                if item[0] not in done:
+                    yield _run_one(item)
+
+
+def make_executor(kind: str, jobs: int = 1,
+                  address: Optional[str] = None) -> Any:
+    """Build one executor by name: ``serial``, ``pool`` or ``distrib``.
+
+    ``distrib`` needs an ``address`` (or ``$SATR_WORKERS``); the import
+    is local so the orchestrate layer stays importable without the
+    distrib subsystem in pathological environments.
+    """
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "pool":
+        return PoolExecutor(jobs)
+    if kind == "distrib":
+        from repro.distrib.client import DistribExecutor
+        from repro.distrib.protocol import default_address
+
+        target = address or default_address()
+        if not target:
+            raise ValueError(
+                "--executor distrib needs a worker-pool address: pass "
+                "--workers-at or set $SATR_WORKERS (start one with "
+                "'satr workers')")
+        return DistribExecutor(target)
+    raise ValueError(
+        f"unknown executor {kind!r}; expected serial, pool or distrib")

@@ -4,21 +4,30 @@
 and returns their payloads **in list order**:
 
 1. every cell's digest is probed against the result cache;
-2. the misses run through the serial or process-pool executor;
+2. the misses run through the configured executor (in-process serial,
+   the spawn process pool, or a warm-worker pool daemon);
 3. fresh results are canonicalised (one JSON round trip) and stored.
 
+``Orchestrator.run_iter`` is the streaming variant: it yields
+``(index, payload)`` pairs as cells complete (cache hits first, then
+misses in completion order), so a sweep-shaped merge can fold payloads
+incrementally and a 10,000-cell run holds O(1) payloads instead of
+O(n).  ``run`` is ``run_iter`` plus a payload list — both paths share
+one driver, so they cannot drift.
+
 Because cells are deterministic, payloads are canonical JSON values,
-and results are always returned in cell order, the merged report is
-byte-identical whether cells ran serially, in parallel, or replayed
-from the cache — the correctness contract the test suite pins down.
+and ``run`` always returns results in cell order, the merged report is
+byte-identical whether cells ran serially, in parallel, on a worker
+pool, or replayed from the cache — the correctness contract the test
+suite pins down.
 """
 
-from typing import Any, List, Optional
+from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.orchestrate.cache import ResultCache
 from repro.orchestrate.cells import Cell
 from repro.orchestrate.coalesce import InflightCoalescer
-from repro.orchestrate.executor import run_parallel, run_serial
+from repro.orchestrate.executor import PoolExecutor, SerialExecutor
 from repro.orchestrate.telemetry import Telemetry
 
 
@@ -34,25 +43,51 @@ class Orchestrator:
                    serve`` worker pool): cache-missing digests already
                    executing elsewhere are awaited instead of
                    recomputed.
+    ``executor`` — an executor object (``run``/``run_iter`` over
+                   ``(index, cell_dict)`` items); None picks
+                   :class:`SerialExecutor` or :class:`PoolExecutor`
+                   from ``jobs``, preserving the historical behaviour.
     """
 
     def __init__(self, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  telemetry: Optional[Telemetry] = None,
-                 coalescer: Optional[InflightCoalescer] = None) -> None:
+                 coalescer: Optional[InflightCoalescer] = None,
+                 executor: Optional[Any] = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.coalescer = coalescer
+        if executor is None:
+            executor = PoolExecutor(jobs) if jobs > 1 else SerialExecutor()
+        self.executor = executor
 
     def run(self, cells: List[Cell]) -> List[Any]:
         """Execute (or replay) every cell; payloads in cell order."""
+        payloads: List[Any] = [None] * len(cells)
+        for index, payload in self._drive(cells, streaming=False):
+            payloads[index] = payload
+        return payloads
+
+    def run_iter(self, cells: List[Cell]) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(index, payload)`` as cells complete.
+
+        Cache hits come first (in cell order), then executed misses in
+        **completion order**, then coalesced followers.  The caller
+        owns each payload the moment it is yielded — the orchestrator
+        keeps no payload list, which is what bounds a streaming
+        sweep's memory.
+        """
+        return self._drive(cells, streaming=True)
+
+    def _drive(self, cells: List[Cell],
+               streaming: bool) -> Iterator[Tuple[int, Any]]:
+        """The single driver behind ``run`` and ``run_iter``."""
         telemetry = self.telemetry
         telemetry.batch_started()
         total = len(cells)
-        payloads: List[Any] = [None] * total
         digests = [cell.digest() for cell in cells]
 
         misses = []
@@ -60,11 +95,11 @@ class Orchestrator:
         for index, cell in enumerate(cells):
             record = self.cache.load(digests[index]) if self.cache else None
             if record is not None:
-                payloads[index] = record["payload"]
                 telemetry.record(cell.name, digests[index],
                                  float(record.get("elapsed", 0.0)),
                                  cached=True, position=index + 1,
                                  total=total)
+                yield index, record["payload"]
             elif self.coalescer is not None:
                 leader, entry = self.coalescer.join(digests[index])
                 if leader:
@@ -77,12 +112,13 @@ class Orchestrator:
         if misses:
             claimed = {digests[index] for index, _ in misses}
             try:
-                if self.jobs > 1:
-                    runs = run_parallel(misses, self.jobs)
+                if streaming:
+                    runs = self.executor.run_iter(
+                        misses, telemetry.executor_fallback)
                 else:
-                    runs = run_serial(misses)
+                    runs = self.executor.run(
+                        misses, telemetry.executor_fallback)
                 for index, payload, elapsed in runs:
-                    payloads[index] = payload
                     if self.cache is not None:
                         self.cache.store(digests[index],
                                          cells[index].to_dict(),
@@ -94,9 +130,11 @@ class Orchestrator:
                     telemetry.record(cells[index].name, digests[index],
                                      elapsed, cached=False,
                                      position=index + 1, total=total)
+                    yield index, payload
             finally:
-                # A cell exception must not strand followers on other
-                # threads: resolve every unpublished claim as failed.
+                # A cell exception (or an abandoned run_iter consumer)
+                # must not strand followers on other threads: resolve
+                # every unpublished claim as failed.
                 if self.coalescer is not None:
                     for digest in claimed:
                         self.coalescer.abandon(digest, "leader failed")
@@ -105,7 +143,6 @@ class Orchestrator:
         # leading each other's followers can never deadlock.
         for index, entry in followers:
             payload, elapsed = InflightCoalescer.wait(entry)
-            payloads[index] = payload
             if self.cache is not None:
                 # The leader stored under *its* cache; keep ours warm too
                 # (byte-identical record, so a shared root is idempotent).
@@ -113,6 +150,6 @@ class Orchestrator:
                                  payload, elapsed)
             telemetry.record(cells[index].name, digests[index], elapsed,
                              cached=True, position=index + 1, total=total)
+            yield index, payload
 
         telemetry.batch_finished()
-        return payloads

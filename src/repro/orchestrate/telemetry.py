@@ -32,6 +32,11 @@ class Telemetry:
     #: Optional structured sink; receives ``(record, position, total)``
     #: per finished cell — the ``satr serve`` event stream hangs off it.
     observer: Optional[Callable[["CellRecord", int, int], None]] = None
+    #: One human-readable reason per executor degradation ("pool died,
+    #: ran serially", "worker pool unreachable", ...).  Surfaced in the
+    #: summary line and counted into ``satr_executor_fallbacks_total``
+    #: by ``satr serve`` — never a bare RuntimeWarning.
+    fallbacks: List[str] = field(default_factory=list)
     #: ``None`` means no batch is open — ``batch_finished`` must not
     #: accrue wall time (``perf_counter() - 0.0`` would add the
     #: machine's entire uptime on an unpaired call).
@@ -58,6 +63,12 @@ class Telemetry:
             self.progress(f"[cell {position}/{total}] {name}: {status}")
         if self.observer is not None:
             self.observer(record, position, total)
+
+    def executor_fallback(self, reason: str) -> None:
+        """Note one executor degradation and emit its progress line."""
+        self.fallbacks.append(reason)
+        if self.progress is not None:
+            self.progress(f"[executor] fallback: {reason}")
 
     # -- derived views --------------------------------------------------
 
@@ -102,4 +113,8 @@ class Telemetry:
         if slowest:
             line += (f"; slowest {slowest[0].name} "
                      f"({slowest[0].elapsed:.1f}s)")
+        if self.fallbacks:
+            count = len(self.fallbacks)
+            line += (f"; {count} executor fallback"
+                     f"{'s' if count != 1 else ''}")
         return line

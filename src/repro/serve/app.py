@@ -75,12 +75,14 @@ class ServeApp:
 
     def __init__(self, cache: Optional[ResultCache] = None,
                  workers: int = 2, queue_limit: int = 64,
-                 targets: Optional[Dict[str, Callable]] = None) -> None:
+                 targets: Optional[Dict[str, Callable]] = None,
+                 worker_address: Optional[str] = None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         self.cache = cache
+        self.worker_address = worker_address
         self.targets = targets if targets is not None else default_targets()
         self.queue_limit = queue_limit
         self.registry = RunRegistry()
@@ -103,6 +105,21 @@ class ServeApp:
         self.metrics.register_gauge(
             "satr_serve_draining",
             lambda: 1.0 if self._draining.is_set() else 0.0)
+        self.metrics.register_gauge("satr_serve_workers_alive",
+                                    lambda: self._pool_stat("workers_alive"))
+        self.metrics.register_gauge("satr_serve_workers_queue_depth",
+                                    lambda: self._pool_stat("queue_depth"))
+
+    def _pool_stat(self, key: str) -> float:
+        """One live worker-pool gauge; 0 without (or with a dead) pool."""
+        if self.worker_address is None:
+            return 0.0
+        from repro.distrib import fetch_pool_stats
+
+        try:
+            return float(fetch_pool_stats(self.worker_address).get(key, 0))
+        except Exception:
+            return 0.0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -173,11 +190,17 @@ class ServeApp:
                     self.registry.add_cell_event(
                         record, cell.name, cell.cached, cell.elapsed,
                         position, total))
+            executor = None
+            if self.worker_address is not None:
+                from repro.distrib import DistribExecutor
+
+                executor = DistribExecutor(self.worker_address)
             orchestrator = Orchestrator(
                 jobs=request.jobs,
                 cache=None if request.no_cache else self.cache,
                 telemetry=telemetry,
                 coalescer=self.coalescer,
+                executor=executor,
             )
             # The policy kwarg is only passed when non-default so
             # custom (scale, seed)-only planners keep working.
@@ -190,6 +213,8 @@ class ServeApp:
                                                     request.seed)
             payloads = orchestrator.run(plan.cells)
             report = plan.render(payloads)
+            if telemetry.fallbacks:
+                self.metrics.executor_fallbacks(len(telemetry.fallbacks))
             self.registry.finish(record, report,
                                  hits=telemetry.hits,
                                  misses=telemetry.misses)

@@ -42,6 +42,14 @@ SERVE_METRIC_SPECS = [
     MetricSpec("satr_serve_coalesced_requests_total", "counter",
                "Requests that joined an identical in-flight run "
                "instead of executing."),
+    MetricSpec("satr_executor_fallbacks_total", "counter",
+               "Cells that fell back to in-process serial execution "
+               "because a pool or worker-pool executor degraded."),
+    MetricSpec("satr_serve_workers_alive", "gauge",
+               "Live processes in the attached warm-worker pool "
+               "(0 when no pool is attached or it is unreachable)."),
+    MetricSpec("satr_serve_workers_queue_depth", "gauge",
+               "Cells queued in the attached warm-worker pool."),
     MetricSpec("satr_serve_queue_depth", "gauge",
                "Runs queued and waiting for a worker."),
     MetricSpec("satr_serve_inflight_runs", "gauge",
@@ -71,6 +79,7 @@ class ServerMetrics:
         self._cache_hits = 0
         self._cache_misses = 0
         self._coalesced = 0
+        self._executor_fallbacks = 0
         self._run_seconds: Dict[str, Histogram] = {}
         self._gauges: Dict[str, Callable[[], float]] = {}
 
@@ -96,6 +105,10 @@ class ServerMetrics:
     def coalesced(self) -> None:
         with self._lock:
             self._coalesced += 1
+
+    def executor_fallbacks(self, count: int = 1) -> None:
+        with self._lock:
+            self._executor_fallbacks += count
 
     def run_finished(self, target: str, state: str,
                      seconds: Optional[float],
@@ -123,6 +136,7 @@ class ServerMetrics:
                 "satr_serve_cache_hits_total": self._cache_hits,
                 "satr_serve_cache_misses_total": self._cache_misses,
                 "satr_serve_coalesced_requests_total": self._coalesced,
+                "satr_executor_fallbacks_total": self._executor_fallbacks,
                 "satr_serve_run_seconds": {
                     target: histogram.to_value()
                     for target, histogram in self._run_seconds.items()

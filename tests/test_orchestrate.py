@@ -465,3 +465,305 @@ class TestCountersFieldIteration:
             counters.snapshot()
         with pytest.raises(TypeError):
             counters.delta_since(Counters())
+
+
+class TestExecutorFallback:
+    """The fallback ladder: broken pools degrade to serial, announced."""
+
+    class _BreakingPool:
+        """A fake ProcessPoolExecutor that dies after k results."""
+
+        results_before_break = 2
+
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def map(self, fn, items):
+            from concurrent.futures.process import BrokenProcessPool
+
+            def generate():
+                for position, item in enumerate(items):
+                    if position >= self.results_before_break:
+                        raise BrokenProcessPool("worker died")
+                    yield fn(item)
+            return generate()
+
+        def submit(self, fn, item):
+            from concurrent.futures import Future
+            from concurrent.futures.process import BrokenProcessPool
+
+            future = Future()
+            if self._submitted >= self.results_before_break:
+                future.set_exception(BrokenProcessPool("worker died"))
+            else:
+                future.set_result(fn(item))
+            type(self)._submitted += 1
+            return future
+
+        _submitted = 0
+
+    def test_partial_failure_matches_serial_bytes(self, monkeypatch):
+        """Satellite: a pool that breaks after k results must still
+        yield the same ordered byte-identical payload list as serial."""
+        import concurrent.futures
+
+        from repro.orchestrate import canonical_json
+        from repro.orchestrate.executor import run_parallel, run_serial
+
+        cells = [tiny_cell(v) for v in (5, 1, 4, 2, 3)]
+        items = [(i, c.to_dict()) for i, c in enumerate(cells)]
+        serial = run_serial(items)
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            self._BreakingPool)
+        fallbacks = []
+        broken = run_parallel(items, jobs=4, on_fallback=fallbacks.append)
+        assert [run[0] for run in broken] == [run[0] for run in serial]
+        assert ([canonical_json(run[1]) for run in broken]
+                == [canonical_json(run[1]) for run in serial])
+        assert len(fallbacks) == 1
+        assert "3 remaining cells" in fallbacks[0]
+
+    def test_orchestrator_records_fallback_in_telemetry(self, monkeypatch):
+        """The invisible-RuntimeWarning satellite: pool degradation
+        lands in Telemetry.fallbacks and the summary line."""
+        import concurrent.futures
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            self._BreakingPool)
+        lines = []
+        telemetry = Telemetry(progress=lines.append)
+        orch = Orchestrator(jobs=4, telemetry=telemetry)
+        cells = [tiny_cell(v) for v in range(4)]
+        payloads = orch.run(cells)
+        assert [p["value"] for p in payloads] == [0, 1, 2, 3]
+        assert len(telemetry.fallbacks) == 1
+        assert any("[executor] fallback:" in line for line in lines)
+        assert "1 executor fallback" in telemetry.summary()
+
+    def test_no_hook_still_warns(self, monkeypatch):
+        """Without a hook the old RuntimeWarning behaviour survives."""
+        import concurrent.futures
+        import warnings
+
+        from repro.orchestrate.executor import run_parallel
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor",
+                            self._BreakingPool)
+        items = [(i, tiny_cell(i).to_dict()) for i in range(3)]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_parallel(items, jobs=2)
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+
+    def test_make_executor_kinds(self):
+        from repro.orchestrate import (PoolExecutor, SerialExecutor,
+                                       make_executor)
+
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        pool = make_executor("pool", jobs=3)
+        assert isinstance(pool, PoolExecutor) and pool.jobs == 3
+        distrib = make_executor("distrib", address="unix:/tmp/x.sock")
+        assert distrib.address == "unix:/tmp/x.sock"
+        with pytest.raises(ValueError, match="worker-pool address"):
+            make_executor("distrib")
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("threads")
+
+
+class TestRunIterAndFolds:
+    """run_iter + fold_ordered: the streaming merge building blocks."""
+
+    def test_run_iter_equals_run(self):
+        cells = [tiny_cell(v) for v in (3, 1, 2)]
+        streamed = dict(Orchestrator().run_iter(cells))
+        buffered = Orchestrator().run(cells)
+        assert [streamed[i] for i in range(3)] == buffered
+
+    def test_run_iter_serial_peak_buffered_is_zero(self):
+        """The memory-contract pin: a serial stream arrives in order,
+        so the fold never parks a payload."""
+        from repro.orchestrate import FoldStats, fold_ordered
+
+        cells = [tiny_cell(v) for v in range(6)]
+        stats = FoldStats()
+        values = fold_ordered(
+            Orchestrator().run_iter(cells),
+            lambda acc, index, payload: acc + [payload["value"]],
+            [], total=len(cells), stats=stats)
+        assert values == list(range(6))
+        assert stats.peak_buffered == 0
+        assert stats.folded == 6 and stats.reused == 0
+
+    def test_run_iter_hits_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cells = [tiny_cell(v) for v in (1, 2)]
+        Orchestrator(cache=cache).run(cells)
+        warm = Orchestrator(cache=cache)
+        assert dict(warm.run_iter(cells))[0]["value"] == 1
+        assert warm.telemetry.hits == 2
+
+    def test_fold_ordered_buffers_out_of_order(self):
+        from repro.orchestrate import FoldStats, fold_ordered
+
+        stats = FoldStats()
+        runs = [(2, "c"), (0, "a"), (1, "b")]
+        folded = fold_ordered(iter(runs),
+                              lambda acc, i, p: acc + p, "",
+                              total=3, stats=stats)
+        assert folded == "abc"
+        assert stats.peak_buffered == 1  # Only "c" ever waited.
+
+    def test_fold_ordered_uses_available(self):
+        from repro.orchestrate import FoldStats, fold_ordered
+
+        stats = FoldStats()
+        folded = fold_ordered(iter([(1, "live")]),
+                              lambda acc, i, p: acc + [p], [],
+                              total=2, available={0: "reused"},
+                              stats=stats)
+        assert folded == ["reused", "live"]
+        assert stats.reused == 1
+
+    def test_fold_ordered_truncated_stream_raises(self):
+        from repro.orchestrate import fold_ordered
+
+        with pytest.raises(ValueError, match="ended before cell 1"):
+            fold_ordered(iter([(0, "a")]),
+                         lambda acc, i, p: acc, None, total=3)
+
+    def test_fold_ordered_rejects_alien_index(self):
+        from repro.orchestrate import fold_ordered
+
+        with pytest.raises(ValueError, match="unexpected index"):
+            fold_ordered(iter([(7, "x")]),
+                         lambda acc, i, p: acc, None, total=2)
+
+
+class TestCacheStatsPrune:
+    """satr cache: stats totals and the age/size eviction order."""
+
+    def _fill(self, tmp_path, count):
+        cache = ResultCache(str(tmp_path))
+        cells = [tiny_cell(v) for v in range(count)]
+        Orchestrator(cache=cache).run(cells)
+        return cache, cells
+
+    def test_stats_counts_artifacts(self, tmp_path):
+        cache, _ = self._fill(tmp_path, 4)
+        stats = cache.stats()
+        assert stats["artifacts"] == 4
+        assert stats["bytes"] > 0
+        assert stats["oldest_mtime"] <= stats["newest_mtime"]
+
+    def test_prune_by_age(self, tmp_path):
+        cache, cells = self._fill(tmp_path, 3)
+        old = cache.path(cells[0].digest())
+        past = time.time() - 3600
+        os.utime(old, (past, past))
+        result = cache.prune(max_age_seconds=600)
+        assert result["removed"] == 1 and result["removed_bytes"] > 0
+        assert cache.load(cells[0].digest()) is None
+        assert cache.load(cells[1].digest()) is not None
+
+    def test_prune_by_bytes_evicts_oldest_first(self, tmp_path):
+        cache, cells = self._fill(tmp_path, 3)
+        now = time.time()
+        for age, cell in zip((300, 200, 100), cells):
+            path = cache.path(cell.digest())
+            os.utime(path, (now - age, now - age))
+        one_size = os.path.getsize(cache.path(cells[2].digest()))
+        cache.prune(max_bytes=one_size)
+        assert cache.load(cells[0].digest()) is None  # Oldest went first.
+        assert cache.load(cells[1].digest()) is None
+        assert cache.load(cells[2].digest()) is not None
+
+    def test_prune_empties_shard_dirs(self, tmp_path):
+        cache, cells = self._fill(tmp_path, 2)
+        cache.prune(max_bytes=0)
+        assert cache.stats()["artifacts"] == 0
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if len(name) == 2]
+        assert leftovers == []
+
+    def test_prune_no_bounds_removes_nothing(self, tmp_path):
+        cache, _ = self._fill(tmp_path, 2)
+        assert cache.prune() == {"removed": 0, "removed_bytes": 0}
+        assert cache.stats()["artifacts"] == 2
+
+
+class TestSweepManifest:
+    """satr sweep: the JSONL manifest and --since digest reuse."""
+
+    def _sweep(self, tmp_path, name, cells, since=None):
+        from repro.experiments import sweep
+
+        path = str(tmp_path / name)
+        result = sweep.run_sweep(
+            "echo", cells, Orchestrator(), path,
+            scale_name="tiny", seed=7, since=since)
+        return path, result
+
+    def test_manifest_round_trip(self, tmp_path):
+        from repro.experiments import sweep
+
+        cells = [tiny_cell(v) for v in (1, 2, 3)]
+        path, result = self._sweep(tmp_path, "a.jsonl", cells)
+        assert result.total == 3 and result.executed == 3
+        assert result.reused == 0
+        index = sweep.ManifestIndex(path)
+        assert index.digests == [c.digest() for c in cells]
+        payloads = list(index.payloads())
+        assert [p["value"] for p in payloads] == [1, 2, 3]
+        assert payloads == Orchestrator().run(cells)
+
+    def test_since_reuses_unchanged_cells(self, tmp_path):
+        cells = [tiny_cell(v) for v in (1, 2, 3)]
+        old_path, _ = self._sweep(tmp_path, "old.jsonl", cells)
+        # One cell's params change; the other two digests are stable.
+        changed = [tiny_cell(1), tiny_cell(99), tiny_cell(3)]
+        new_path, result = self._sweep(tmp_path, "new.jsonl", changed,
+                                       since=old_path)
+        assert result.executed == 1 and result.reused == 2
+        from repro.experiments import sweep
+
+        payloads = sweep.load_manifest_payloads(new_path)
+        assert [p["value"] for p in payloads] == [1, 99, 3]
+        # Byte-identity: reused lines equal a from-scratch manifest's.
+        scratch, _ = self._sweep(tmp_path, "scratch.jsonl", changed)
+        assert (open(new_path, "rb").read()
+                == open(scratch, "rb").read())
+
+    def test_since_output_path_overlap_is_safe(self, tmp_path):
+        cells = [tiny_cell(v) for v in (4, 5)]
+        path, _ = self._sweep(tmp_path, "self.jsonl", cells)
+        before = open(path, "rb").read()
+        path2, result = self._sweep(tmp_path, "self.jsonl", cells,
+                                    since=path)
+        assert result.executed == 0 and result.reused == 2
+        assert open(path2, "rb").read() == before
+
+    def test_truncated_manifest_is_rejected(self, tmp_path):
+        from repro.experiments import sweep
+
+        cells = [tiny_cell(v) for v in (1, 2)]
+        path, _ = self._sweep(tmp_path, "trunc.jsonl", cells)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        with open(path, "wb") as handle:
+            handle.writelines(lines[:-1])  # Drop the last payload.
+        with pytest.raises(sweep.ManifestError, match="truncated"):
+            sweep.ManifestIndex(path)
+
+    def test_non_manifest_file_is_rejected(self, tmp_path):
+        from repro.experiments import sweep
+
+        path = tmp_path / "not.jsonl"
+        path.write_text('{"kind":"something-else"}\n')
+        with pytest.raises(sweep.ManifestError, match="not a satr-sweep"):
+            sweep.ManifestIndex(str(path))
